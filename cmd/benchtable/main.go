@@ -1,0 +1,92 @@
+// Command benchtable regenerates the paper-reproduction experiments
+// (DESIGN.md §4 maps each experiment id to a row of the paper's Table 1
+// or an in-text claim) and prints the measured tables. EXPERIMENTS.md was
+// produced from this tool's output.
+//
+// Examples:
+//
+//	benchtable                 # full sweep (minutes)
+//	benchtable -quick          # reduced sweep
+//	benchtable -only E3,E4     # just the probe experiments
+//	benchtable -csv results/   # also dump CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tricomm/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtable: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick  = flag.Bool("quick", false, "reduced sweeps")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		csvDir = flag.String("csv", "", "directory to write per-experiment CSVs")
+		trials = flag.Int("trials", 0, "override per-point trial count")
+	)
+	flag.Parse()
+
+	cfg := harness.RunConfig{Seed: *seed, Quick: *quick, Trials: *trials}
+
+	var selected []harness.Experiment
+	if *only == "" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			exp, ok := harness.Lookup(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			selected = append(selected, exp)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, exp := range selected {
+		start := time.Now()
+		table, err := exp.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		table.ID = exp.ID
+		table.Title = exp.Title
+		table.PaperClaim = exp.PaperClaim
+		if err := table.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(%s took %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, exp.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := table.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

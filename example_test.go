@@ -1,0 +1,67 @@
+package tricomm_test
+
+import (
+	"context"
+	"fmt"
+
+	"tricomm"
+)
+
+// ExampleSplit shards a certified ε-far graph across players and runs the
+// degree-oblivious one-round tester.
+func ExampleSplit() {
+	g, eps := tricomm.FarGraph(512, 8, 0.25, 1)
+	cluster, err := tricomm.Split(g, 4, tricomm.SplitDisjoint, 42)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := cluster.Test(context.Background(), tricomm.Options{
+		Protocol: tricomm.Auto,
+		Eps:      eps,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// One-sided error: a witness is always a genuine triangle.
+	if !rep.TriangleFree {
+		fmt.Println("found a real triangle:",
+			g.IsTriangle(rep.Witness.A, rep.Witness.B, rep.Witness.C))
+	}
+	// Output: found a real triangle: true
+}
+
+// ExampleCluster_Test runs the exact baseline on a triangle-free control:
+// exact detection never errs in either direction.
+func ExampleCluster_Test() {
+	free := tricomm.BipartiteGraph(256, 6, 7)
+	cluster, err := tricomm.Split(free, 3, tricomm.SplitDuplicate, 9)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := cluster.Test(context.Background(), tricomm.Options{Protocol: tricomm.Exact})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("triangle-free:", rep.TriangleFree)
+	// Output: triangle-free: true
+}
+
+// ExampleNewCluster assembles a cluster from edges the players already
+// hold (possibly overlapping) rather than splitting a known graph.
+func ExampleNewCluster() {
+	inputs := [][]tricomm.Edge{
+		{{U: 0, V: 1}, {U: 1, V: 2}},
+		{{U: 0, V: 2}, {U: 1, V: 2}}, // duplication is allowed
+		{{U: 3, V: 4}},
+	}
+	cluster, err := tricomm.NewCluster(5, inputs, 1)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := cluster.Test(context.Background(), tricomm.Options{Protocol: tricomm.Exact})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("witness:", rep.Witness)
+	// Output: witness: (0,1,2)
+}

@@ -1,0 +1,82 @@
+// Lower-bound walkthrough: the hard distribution µ, the one-way vs
+// simultaneous separation for triangle-edge detection, and the Boolean
+// Hidden Matching reduction — §4 of the paper, measured.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"tricomm/internal/lowerbound"
+	"tricomm/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "lowerbound: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const nPart = 250
+	const gamma = 2.0
+	n := 3 * nPart
+
+	// 1. The hard distribution µ: tripartite, each cross edge iid γ/√n.
+	rng := rand.New(rand.NewSource(1))
+	inst := lowerbound.SampleMu(lowerbound.MuParams{NPart: nPart, Gamma: gamma}, rng)
+	pack, eps := inst.FarnessCertificate()
+	fmt.Printf("µ instance: n=%d m=%d avg-degree=%.1f (Θ(√n)=%.1f)\n",
+		n, inst.G.M(), inst.G.AvgDegree(), math.Sqrt(float64(n)))
+	fmt.Printf("Lemma 4.5: %d edge-disjoint triangles ⇒ %.2f-far from triangle-free\n", pack, eps)
+	fmt.Printf("valid outputs (Charlie's triangle edges): %d of %d Charlie edges\n\n",
+		len(inst.TriangleEdgesOfCharlie()), len(inst.Charlie))
+
+	// 2. Success vs budget: the one-way star strategy (quadratic covering)
+	// against the simultaneous window strategy (linear covering).
+	fmt.Println("triangle-edge detection on µ — success over 20 trials per budget:")
+	fmt.Printf("%-12s %-10s %-10s\n", "budget_bits", "one-way", "simultaneous")
+	for _, budget := range []int{40, 80, 160, 320, 640, 1280} {
+		owWins, simWins := 0, 0
+		for trial := 0; trial < 20; trial++ {
+			trng := rand.New(rand.NewSource(int64(trial)))
+			ti := lowerbound.SampleMu(lowerbound.MuParams{NPart: nPart, Gamma: gamma}, trng)
+			sh := xrand.New(uint64(trial))
+			if res, err := (lowerbound.OneWayProbe{BudgetBits: budget}).Run(ti, sh); err != nil {
+				return err
+			} else if res.Success {
+				owWins++
+			}
+			if res, err := (lowerbound.SimProbe{BudgetBits: budget, Gamma: gamma}).Run(ti, sh); err != nil {
+				return err
+			} else if res.Success {
+				simWins++
+			}
+		}
+		fmt.Printf("%-12d %2d/20      %2d/20\n", budget, owWins, simWins)
+	}
+	fmt.Printf("reference scales: n^(1/4)·log n ≈ %.0f bits, √n·log n ≈ %.0f bits\n",
+		math.Pow(float64(n), 0.25)*math.Log2(float64(n)),
+		math.Sqrt(float64(n))*math.Log2(float64(n)))
+	fmt.Println("the simultaneous threshold sits quadratically above the one-way one —")
+	fmt.Println("the separation behind Theorems 4.7 (Ω(n^1/4)) and §4.2.3 (Ω(√n)).")
+
+	// 3. The Boolean Hidden Matching reduction (Theorem 4.16).
+	fmt.Println("\nBoolean Hidden Matching reduction (d = Θ(1) regime):")
+	for _, allZero := range []bool{true, false} {
+		bhm := lowerbound.SampleBHM(200, allZero, rng)
+		red := lowerbound.Reduce(bhm)
+		tri := red.G.CountTriangles()
+		side := "Mx⊕w = 1ⁿ"
+		if allZero {
+			side = "Mx⊕w = 0ⁿ"
+		}
+		fmt.Printf("  %s → graph with n=%d, %d triangles (expected %d)\n",
+			side, red.G.N(), tri, red.ExpectedTriangles())
+	}
+	fmt.Println("deciding BHM ⇒ testing triangle-freeness, so the Ω(√n) BHM bound transfers.")
+	return nil
+}

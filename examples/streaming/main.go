@@ -1,0 +1,63 @@
+// Streaming corollary (§4.2.2): one-way communication lower bounds
+// transfer to one-pass streaming space bounds. This example runs the
+// space-bounded star detector over µ edge streams and shows its success
+// probability rising as the space budget crosses the ~n^{1/4} scale — and
+// a naive equal-space reservoir detector doing much worse.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"tricomm/internal/lowerbound"
+	"tricomm/internal/streamred"
+	"tricomm/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "streaming: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const nPart = 250
+	const gamma = 2.0
+	const trials = 25
+	n := 3 * nPart
+
+	fmt.Printf("one-pass triangle-edge detection on µ streams (n=%d, d≈√n)\n", n)
+	fmt.Printf("%-10s %-12s %-12s %-12s\n", "arm_cap", "space_bits", "star", "reservoir")
+
+	for _, capArms := range []int{2, 4, 8, 16, 32, 64} {
+		starWins, resWins := 0, 0
+		var space int
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)))
+			inst := lowerbound.SampleMu(lowerbound.MuParams{NPart: nPart, Gamma: gamma}, rng)
+			stream := streamred.Stream{}
+			stream.Edges = append(stream.Edges, inst.Alice...)
+			stream.Edges = append(stream.Edges, inst.Bob...)
+			stream.Edges = append(stream.Edges, inst.Charlie...)
+
+			star := streamred.NewStarDetector(xrand.New(uint64(trial)), inst.NPart, capArms, inst.N())
+			space = star.SpaceBits()
+			if e, ok := streamred.Drive(star, stream); ok && inst.IsValidOutput(e) {
+				starWins++
+			}
+			res := streamred.NewReservoirDetector(xrand.New(uint64(trial)), space/(2*11), inst.N())
+			if _, ok := streamred.Drive(res, stream); ok {
+				resWins++
+			}
+		}
+		fmt.Printf("%-10d %-12d %2d/%-9d %2d/%d\n", capArms, space, starWins, trials, resWins, trials)
+	}
+	fmt.Printf("\nreference: n^(1/4)·log n ≈ %.0f bits — the Ω(n^{1/4}) space bound's scale;\n",
+		math.Pow(float64(n), 0.25)*math.Log2(float64(n)))
+	fmt.Println("the star detector (the one-way strategy, streamed) crosses 50% there,")
+	fmt.Println("while equal-space reservoir sampling stays near zero.")
+	return nil
+}

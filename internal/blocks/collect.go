@@ -1,0 +1,382 @@
+package blocks
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"tricomm/internal/bucket"
+	"tricomm/internal/comm"
+	"tricomm/internal/graph"
+	"tricomm/internal/wire"
+	"tricomm/internal/xrand"
+)
+
+// CollectInducedShared gathers the subgraph induced by the shared
+// Bernoulli(p) vertex sample S(tag): every player sends its edges with
+// both endpoints in S, truncated to capPerPlayer edges if positive (the
+// paper's message caps). S itself costs no communication — it is a pure
+// function of the shared randomness. Cost Θ(k·|answer|·log n) up.
+func CollectInducedShared(ctx context.Context, c *comm.Coordinator, tag string, p float64, capPerPlayer int) ([]wire.Edge, error) {
+	w := reqWriter(opCollectInduced)
+	w.WriteUint(floatBits(p), 64)
+	w.WriteUvarint(uint64(capAsU64(capPerPlayer)))
+	w.WriteBytes([]byte(tag))
+	replies, err := c.AskAll(ctx, comm.FromWriter(w))
+	if err != nil {
+		return nil, err
+	}
+	return decodeEdgeUnion(c.N, replies)
+}
+
+func handleCollectInduced(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
+	prob, cap64, tag, err := readProbCapTag(r)
+	if err != nil {
+		return comm.Msg{}, err
+	}
+	key := p.Shared.Key("vsample/" + tag)
+	var out []wire.Edge
+	for _, e := range p.Edges {
+		if key.Bernoulli(uint64(e.U), prob) && key.Bernoulli(uint64(e.V), prob) {
+			out = append(out, e)
+		}
+	}
+	out = truncate(out, cap64)
+	var w wire.Writer
+	if err := wire.NewEdgeCodec(p.N).PutEdgeList(&w, out); err != nil {
+		return comm.Msg{}, err
+	}
+	return comm.FromWriter(&w), nil
+}
+
+// CollectCrossShared gathers all edges with one endpoint in the shared
+// sample R(tagR, pR) and the other in R ∪ S(tagS, pS) — the edge set of
+// the low-degree simultaneous tester (Algorithm 8), exposed here for
+// interactive use as well.
+func CollectCrossShared(ctx context.Context, c *comm.Coordinator, tagR, tagS string, pR, pS float64, capPerPlayer int) ([]wire.Edge, error) {
+	w := reqWriter(opCollectCross)
+	w.WriteUint(floatBits(pR), 64)
+	w.WriteUint(floatBits(pS), 64)
+	w.WriteUvarint(uint64(capAsU64(capPerPlayer)))
+	w.WriteUvarint(uint64(len(tagR)))
+	w.WriteBytes([]byte(tagR))
+	w.WriteBytes([]byte(tagS))
+	replies, err := c.AskAll(ctx, comm.FromWriter(w))
+	if err != nil {
+		return nil, err
+	}
+	return decodeEdgeUnion(c.N, replies)
+}
+
+func handleCollectCross(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
+	pR, err := readFloat(r)
+	if err != nil {
+		return comm.Msg{}, err
+	}
+	pS, err := readFloat(r)
+	if err != nil {
+		return comm.Msg{}, err
+	}
+	cap64, err := r.ReadUvarint()
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	lenR, err := r.ReadUvarint()
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	tagRBytes, err := r.ReadBytes(int(lenR))
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	tagSBytes, err := r.ReadBytes(r.Remaining() / 8)
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	out := CrossSampleEdges(p.Edges, p.Shared.Key("vsample/"+string(tagRBytes)),
+		p.Shared.Key("vsample/"+string(tagSBytes)), pR, pS)
+	out = truncate(out, cap64)
+	var w wire.Writer
+	if err := wire.NewEdgeCodec(p.N).PutEdgeList(&w, out); err != nil {
+		return comm.Msg{}, err
+	}
+	return comm.FromWriter(&w), nil
+}
+
+// CrossSampleEdges filters edges to those with one endpoint in the
+// Bernoulli sample R = keyR(pR) and the other in R ∪ S, S = keyS(pS).
+// Exported for reuse by the simultaneous protocols, which apply the same
+// filter player-side.
+func CrossSampleEdges(edges []wire.Edge, keyR, keyS xrand.Key, pR, pS float64) []wire.Edge {
+	inR := func(v int) bool { return keyR.Bernoulli(uint64(v), pR) }
+	inS := func(v int) bool { return keyS.Bernoulli(uint64(v), pS) }
+	var out []wire.Edge
+	for _, e := range edges {
+		ru, rv := inR(e.U), inR(e.V)
+		if (ru && rv) || (ru && inS(e.V)) || (rv && inS(e.U)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CollectIncidentSample gathers the sampled star around v: every player
+// sends the neighbors u of v in its input with u in the shared
+// Bernoulli(prob) sample under tag, truncated to capPerPlayer. This is
+// SampleEdges (Algorithm 4): for a full vertex the sampled arms contain a
+// triangle-vee with high probability (Lemma 3.9, the extended birthday
+// paradox).
+func CollectIncidentSample(ctx context.Context, c *comm.Coordinator, v int, prob float64, capPerPlayer int, tag string) ([]int, error) {
+	w := reqWriter(opCollectIncidentSample)
+	if err := wire.NewVertexCodec(c.N).Put(w, v); err != nil {
+		return nil, err
+	}
+	w.WriteUint(floatBits(prob), 64)
+	w.WriteUvarint(uint64(capAsU64(capPerPlayer)))
+	w.WriteBytes([]byte(tag))
+	replies, err := c.AskAll(ctx, comm.FromWriter(w))
+	if err != nil {
+		return nil, err
+	}
+	vc := wire.NewVertexCodec(c.N)
+	seen := map[int]bool{}
+	var arms []int
+	for _, m := range replies {
+		vs, err := vc.GetVertexList(m.Reader())
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range vs {
+			if !seen[u] {
+				seen[u] = true
+				arms = append(arms, u)
+			}
+		}
+	}
+	return arms, nil
+}
+
+func handleCollectIncidentSample(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
+	vc := wire.NewVertexCodec(p.N)
+	v, err := vc.Get(r)
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	prob, err := readFloat(r)
+	if err != nil {
+		return comm.Msg{}, err
+	}
+	cap64, err := r.ReadUvarint()
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	tagBytes, err := r.ReadBytes(r.Remaining() / 8)
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	key := p.Shared.Key("star/" + string(tagBytes))
+	var arms []int
+	for _, u := range p.View.Neighbors(v) {
+		if key.Bernoulli(uint64(u), prob) {
+			arms = append(arms, int(u))
+		}
+	}
+	if cap64 > 0 && uint64(len(arms)) > cap64 {
+		arms = arms[:cap64]
+	}
+	var w wire.Writer
+	if err := vc.PutVertexList(&w, arms); err != nil {
+		return comm.Msg{}, err
+	}
+	return comm.FromWriter(&w), nil
+}
+
+// CloseStar broadcasts the sampled arms around v and asks every player
+// whether its input closes a triangle-vee: an edge {u1, u2} between two
+// arms yields the triangle (v, u1, u2). This is the interactive step that
+// distinguishes the coordinator model from the query model (§3.3): a vee
+// in hand is a triangle found.
+func CloseStar(ctx context.Context, c *comm.Coordinator, v int, arms []int) (graph.Triangle, bool, error) {
+	w := reqWriter(opCloseVees)
+	vc := wire.NewVertexCodec(c.N)
+	if err := vc.Put(w, v); err != nil {
+		return graph.Triangle{}, false, err
+	}
+	if err := vc.PutVertexList(w, arms); err != nil {
+		return graph.Triangle{}, false, err
+	}
+	replies, err := c.AskAll(ctx, comm.FromWriter(w))
+	if err != nil {
+		return graph.Triangle{}, false, err
+	}
+	for _, m := range replies {
+		r := m.Reader()
+		has, err := r.ReadBool()
+		if err != nil {
+			return graph.Triangle{}, false, err
+		}
+		if !has {
+			continue
+		}
+		u1, err := vc.Get(r)
+		if err != nil {
+			return graph.Triangle{}, false, err
+		}
+		u2, err := vc.Get(r)
+		if err != nil {
+			return graph.Triangle{}, false, err
+		}
+		return graph.Triangle{A: v, B: u1, C: u2}.Canon(), true, nil
+	}
+	return graph.Triangle{}, false, nil
+}
+
+func handleCloseVees(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
+	vc := wire.NewVertexCodec(p.N)
+	// The star center is decoded for protocol shape but only the arms
+	// matter for closing.
+	if _, err := vc.Get(r); err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	arms, err := vc.GetVertexList(r)
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	var w wire.Writer
+	for i, u1 := range arms {
+		for _, u2 := range arms[i+1:] {
+			if p.View.HasEdge(u1, u2) {
+				w.WriteBool(true)
+				if err := vc.Put(&w, u1); err != nil {
+					return comm.Msg{}, err
+				}
+				if err := vc.Put(&w, u2); err != nil {
+					return comm.Msg{}, err
+				}
+				return comm.FromWriter(&w), nil
+			}
+		}
+	}
+	w.WriteBool(false)
+	return comm.FromWriter(&w), nil
+}
+
+// SampleUniformCandidate implements SampleUniformFromB̃ᵢ (Algorithm 1):
+// all parties derive a shared random order on V; each player sends its
+// first vertex (under that order) among its local candidates B̃ᵢʲ for
+// bucket i, and the coordinator returns the global first — a uniform
+// sample from B̃ᵢ = ⋃_j B̃ᵢʲ, unbiased by how many players know each
+// vertex. Returns ok=false if no player has candidates.
+func SampleUniformCandidate(ctx context.Context, c *comm.Coordinator, bucketIdx int, tag string) (int, bool, error) {
+	w := reqWriter(opCandidateMinRank)
+	w.WriteUvarint(uint64(bucketIdx))
+	w.WriteBytes([]byte(tag))
+	replies, err := c.AskAll(ctx, comm.FromWriter(w))
+	if err != nil {
+		return 0, false, err
+	}
+	key := c.Shared.Key("cand/" + tag)
+	vc := wire.NewVertexCodec(c.N)
+	best, found := -1, false
+	for _, m := range replies {
+		r := m.Reader()
+		has, err := r.ReadBool()
+		if err != nil {
+			return 0, false, err
+		}
+		if !has {
+			continue
+		}
+		v, err := vc.Get(r)
+		if err != nil {
+			return 0, false, err
+		}
+		if !found || key.Before(uint64(v), uint64(best)) {
+			best, found = v, true
+		}
+	}
+	return best, found, nil
+}
+
+func handleCandidateMinRank(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
+	bucketIdx, err := r.ReadUvarint()
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	tagBytes, err := r.ReadBytes(r.Remaining() / 8)
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	key := p.Shared.Key("cand/" + string(tagBytes))
+	cands := bucket.Candidates(p.View, int(bucketIdx), p.K)
+	best, found := key.MinRank(cands)
+	var w wire.Writer
+	w.WriteBool(found)
+	if found {
+		if err := wire.NewVertexCodec(p.N).Put(&w, best); err != nil {
+			return comm.Msg{}, err
+		}
+	}
+	return comm.FromWriter(&w), nil
+}
+
+// --- small shared helpers ---
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func readFloat(r *wire.Reader) (float64, error) {
+	b, err := r.ReadUint(64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return math.Float64frombits(b), nil
+}
+
+func readProbCapTag(r *wire.Reader) (prob float64, cap64 uint64, tag string, err error) {
+	prob, err = readFloat(r)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	cap64, err = r.ReadUvarint()
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	tagBytes, err := r.ReadBytes(r.Remaining() / 8)
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return prob, cap64, string(tagBytes), nil
+}
+
+func capAsU64(c int) uint64 {
+	if c <= 0 {
+		return 0
+	}
+	return uint64(c)
+}
+
+func truncate(edges []wire.Edge, cap64 uint64) []wire.Edge {
+	if cap64 > 0 && uint64(len(edges)) > cap64 {
+		return edges[:cap64]
+	}
+	return edges
+}
+
+func decodeEdgeUnion(n int, replies []comm.Msg) ([]wire.Edge, error) {
+	ec := wire.NewEdgeCodec(n)
+	seen := map[wire.Edge]bool{}
+	var out []wire.Edge
+	for _, m := range replies {
+		es, err := ec.GetEdgeList(m.Reader())
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range es {
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out, nil
+}

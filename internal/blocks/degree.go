@@ -1,0 +1,307 @@
+package blocks
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"tricomm/internal/comm"
+	"tricomm/internal/wire"
+)
+
+// ApproxParams tunes the duplication-tolerant cardinality estimator of
+// Theorem 3.1. The defaults give a 4-approximation with small constant
+// error; tests and benches may trade experiments for accuracy.
+type ApproxParams struct {
+	// Alpha > 1 is the approximation ratio target. The estimator returns a
+	// value in [true/Alpha, Alpha·true] with probability ≥ 1-Tau.
+	Alpha float64
+	// Tau is the failure probability target.
+	Tau float64
+	// Tag scopes the shared randomness; distinct invocations must use
+	// distinct tags.
+	Tag string
+}
+
+// DefaultApprox returns the default estimator parameters (α = 4,
+// τ = 0.05) under the given randomness tag.
+func DefaultApprox(tag string) ApproxParams {
+	return ApproxParams{Alpha: 4, Tau: 0.05, Tag: tag}
+}
+
+// experiments returns the per-round experiment count m: by a Chernoff
+// bound, m = O(log(rounds/τ)) experiments separate the stop/continue
+// success rates, whose gap is a constant for α ≥ 4 (see the analysis in
+// Theorem 3.1: for guesses above α·true the success rate is ≤ 1/α, while
+// the first guess below true/√α succeeds with rate ≥ 1-e^{-√α}).
+func (p ApproxParams) experiments(rounds int) int {
+	tau := p.Tau
+	if tau <= 0 || tau >= 1 {
+		tau = 0.05
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	// Deviation margin 0.1 on the success fraction; fail prob per round
+	// 2·exp(-2·0.01·m) ≤ tau/rounds.
+	m := int(math.Ceil(math.Log(2*float64(rounds)/tau) / 0.02))
+	if m < 16 {
+		m = 16
+	}
+	return m
+}
+
+func (p ApproxParams) validate() error {
+	if p.Alpha <= 1 {
+		return fmt.Errorf("blocks: Alpha must exceed 1, got %v", p.Alpha)
+	}
+	if p.Tag == "" {
+		return fmt.Errorf("blocks: ApproxParams requires a Tag")
+	}
+	return nil
+}
+
+// ApproxDegree estimates deg(v) in the union graph within a factor of
+// prm.Alpha, tolerating arbitrary edge duplication across players
+// (Theorem 3.1). The protocol has two phases:
+//
+//  1. MSB round: every player sends the bit-length of its local degree
+//     d_j(v) (Θ(log log n) bits); their sum of powers of two d′ brackets
+//     deg(v) within a 2k factor.
+//  2. Guess halving: guesses d″ descend from d′ by factors of √α. Each
+//     round runs m shared-randomness sampling experiments — sample each
+//     potential neighbor with probability 1/d″, players answer one bit per
+//     experiment ("did my input hit the sample?") — and stops at the first
+//     guess whose OR-success count clears the threshold.
+//
+// Cost Θ(k·log log n + k·log k·m). Returns 0 if v is isolated.
+func ApproxDegree(ctx context.Context, c *comm.Coordinator, v int, prm ApproxParams) (float64, error) {
+	return approxCardinality(ctx, c, modeDegree, v, uint64(c.N), prm)
+}
+
+// ApproxDistinctEdges estimates |E| = |⋃_j E_j| within a factor of
+// prm.Alpha under duplication — the "distinct elements" corollary of
+// Theorem 3.1, with the edge set as the universe.
+func ApproxDistinctEdges(ctx context.Context, c *comm.Coordinator, prm ApproxParams) (float64, error) {
+	universe := uint64(c.N) * uint64(c.N)
+	return approxCardinality(ctx, c, modeEdges, 0, universe, prm)
+}
+
+// approxCardinality is the common estimator core over an abstract element
+// universe.
+func approxCardinality(ctx context.Context, c *comm.Coordinator, mode countMode, v int, universe uint64, prm ApproxParams) (float64, error) {
+	if err := prm.validate(); err != nil {
+		return 0, err
+	}
+	// Phase 1: MSB exchange.
+	w := reqWriter(opCountMSB)
+	w.WriteUvarint(uint64(mode))
+	w.WriteUvarint(uint64(v))
+	replies, err := c.AskAll(ctx, comm.FromWriter(w))
+	if err != nil {
+		return 0, err
+	}
+	var dPrime float64
+	for _, m := range replies {
+		blen, err := m.Reader().ReadGamma() // bit length + 1 (so 0 count encodes as 1)
+		if err != nil {
+			return 0, err
+		}
+		if blen > 1 {
+			dPrime += math.Pow(2, float64(blen-1))
+		}
+	}
+	if dPrime == 0 {
+		return 0, nil
+	}
+	// dPrime/(2k) ≤ true ≤ dPrime. Descend by √α per round.
+	sqrtA := math.Sqrt(prm.Alpha)
+	rounds := int(math.Ceil(math.Log(2*float64(c.K)*prm.Alpha)/math.Log(sqrtA))) + 2
+	m := prm.experiments(rounds)
+	guess := dPrime
+	for r := 0; r < rounds && guess > 1; r++ {
+		succ, err := sampleRound(ctx, c, mode, v, prm.Tag, r, m, guess)
+		if err != nil {
+			return 0, err
+		}
+		// Expected success fraction if guess were exact.
+		f := 1 - math.Pow(1-1/guess, guess)
+		if float64(succ) >= 0.6*f*float64(m) {
+			return guess, nil
+		}
+		guess /= sqrtA
+	}
+	// Fell through the whole bracket: the count is at most ~√α, return the
+	// final guess without an experiment (as in the paper).
+	return guess, nil
+}
+
+// sampleRound runs one guessing round of m experiments and returns the
+// number of experiments in which at least one player's input intersected
+// the shared sample.
+func sampleRound(ctx context.Context, c *comm.Coordinator, mode countMode, v int, tag string, round, m int, guess float64) (int, error) {
+	w := reqWriter(opSampleTest)
+	w.WriteUvarint(uint64(mode))
+	w.WriteUvarint(uint64(v))
+	w.WriteUvarint(uint64(round))
+	w.WriteUvarint(uint64(m))
+	// The guess must be bit-identical on all parties; ship its float bits.
+	w.WriteUint(math.Float64bits(guess), 64)
+	w.WriteBytes([]byte(tag))
+	replies, err := c.AskAll(ctx, comm.FromWriter(w))
+	if err != nil {
+		return 0, err
+	}
+	hits := make([][]bool, len(replies))
+	for j, msg := range replies {
+		r := msg.Reader()
+		hits[j] = make([]bool, m)
+		for i := 0; i < m; i++ {
+			b, err := r.ReadBool()
+			if err != nil {
+				return 0, err
+			}
+			hits[j][i] = b
+		}
+	}
+	succ := 0
+	for i := 0; i < m; i++ {
+		for j := range hits {
+			if hits[j][i] {
+				succ++
+				break
+			}
+		}
+	}
+	return succ, nil
+}
+
+func handleCountMSB(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
+	mode, v, err := readModeVertex(r)
+	if err != nil {
+		return comm.Msg{}, err
+	}
+	count := len(localElements(p, mode, v))
+	var w wire.Writer
+	w.WriteGamma(uint64(bits.Len(uint(count))) + 1)
+	return comm.FromWriter(&w), nil
+}
+
+func handleSampleTest(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
+	mode, v, err := readModeVertex(r)
+	if err != nil {
+		return comm.Msg{}, err
+	}
+	round, err := r.ReadUvarint()
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	m, err := r.ReadUvarint()
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	guessBits, err := r.ReadUint(64)
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	guess := math.Float64frombits(guessBits)
+	if guess < 1 || math.IsNaN(guess) || math.IsInf(guess, 0) {
+		return comm.Msg{}, fmt.Errorf("%w: bad guess %v", ErrBadRequest, guess)
+	}
+	tagBytes, err := r.ReadBytes(r.Remaining() / 8)
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	elems := localElements(p, mode, v)
+	prob := 1 / guess
+	var w wire.Writer
+	for i := uint64(0); i < m; i++ {
+		key := p.Shared.Key(fmt.Sprintf("approx/%s/%d/%d/%d/%d", tagBytes, mode, v, round, i))
+		hit := false
+		for _, e := range elems {
+			if key.Bernoulli(e, prob) {
+				hit = true
+				break
+			}
+		}
+		w.WriteBool(hit)
+	}
+	return comm.FromWriter(&w), nil
+}
+
+func readModeVertex(r *wire.Reader) (countMode, int, error) {
+	modeU, err := r.ReadUvarint()
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	v, err := r.ReadUvarint()
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return countMode(modeU), int(v), nil
+}
+
+// ApproxDegreeNoDup estimates deg(v) when the players' inputs are promised
+// disjoint (Lemma 3.2): every player sends the top bits of its local count
+// plus the cutoff exponent, the coordinator sums the truncations. The
+// result under-counts by at most a (1+2^{-topBits}) factor — a
+// deterministic O(k·log log n)-bit protocol.
+func ApproxDegreeNoDup(ctx context.Context, c *comm.Coordinator, v int, topBits int) (float64, error) {
+	if topBits < 1 {
+		return 0, fmt.Errorf("blocks: topBits must be ≥ 1, got %d", topBits)
+	}
+	w := reqWriter(opCountTopBits)
+	w.WriteUvarint(uint64(modeDegree))
+	w.WriteUvarint(uint64(v))
+	w.WriteUvarint(uint64(topBits))
+	replies, err := c.AskAll(ctx, comm.FromWriter(w))
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, m := range replies {
+		r := m.Reader()
+		blen, err := r.ReadGamma()
+		if err != nil {
+			return 0, err
+		}
+		if blen == 1 {
+			continue // zero local count
+		}
+		nbits := int(blen - 1)
+		keep := topBits
+		if keep > nbits {
+			keep = nbits
+		}
+		top, err := r.ReadUint(keep)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(top) * math.Pow(2, float64(nbits-keep))
+	}
+	return total, nil
+}
+
+func handleCountTopBits(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
+	mode, v, err := readModeVertex(r)
+	if err != nil {
+		return comm.Msg{}, err
+	}
+	topBits, err := r.ReadUvarint()
+	if err != nil {
+		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	count := uint(len(localElements(p, mode, v)))
+	nbits := bits.Len(count)
+	var w wire.Writer
+	w.WriteGamma(uint64(nbits) + 1)
+	if nbits > 0 {
+		keep := int(topBits)
+		if keep > nbits {
+			keep = nbits
+		}
+		w.WriteUint(uint64(count)>>uint(nbits-keep), keep)
+	}
+	return comm.FromWriter(&w), nil
+}

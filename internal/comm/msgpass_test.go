@@ -1,0 +1,87 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"tricomm/internal/wire"
+)
+
+func msgOfBits(bits int) Msg {
+	var w wire.Writer
+	for i := 0; i < bits; i++ {
+		w.WriteBit(uint(i) & 1)
+	}
+	return FromWriter(&w)
+}
+
+func TestPeerNetDelivery(t *testing.T) {
+	pn := NewPeerNet(4)
+	if err := pn.Send(0, 2, msgOfBits(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pn.Send(1, 2, msgOfBits(3)); err != nil {
+		t.Fatal(err)
+	}
+	if pn.Pending(2) != 2 || pn.Pending(0) != 0 {
+		t.Fatalf("pending counts wrong")
+	}
+	from, m, ok := pn.Recv(2)
+	if !ok || from != 0 || m.Bits() != 5 {
+		t.Fatalf("first delivery: from=%d bits=%d ok=%v", from, m.Bits(), ok)
+	}
+	from, m, ok = pn.Recv(2)
+	if !ok || from != 1 || m.Bits() != 3 {
+		t.Fatalf("second delivery: from=%d bits=%d ok=%v", from, m.Bits(), ok)
+	}
+	if _, _, ok := pn.Recv(2); ok {
+		t.Fatal("empty queue delivered")
+	}
+}
+
+func TestPeerNetValidation(t *testing.T) {
+	pn := NewPeerNet(3)
+	if err := pn.Send(0, 0, Ack()); err == nil {
+		t.Fatal("self-send accepted")
+	}
+	if err := pn.Send(-1, 1, Ack()); err == nil {
+		t.Fatal("bad sender accepted")
+	}
+	if err := pn.Send(0, 3, Ack()); err == nil {
+		t.Fatal("bad recipient accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=1 did not panic")
+		}
+	}()
+	NewPeerNet(1)
+}
+
+func TestPeerNetLogKOverhead(t *testing.T) {
+	// §2: the coordinator simulation costs at most a (2 + log k / avg-bits)
+	// overhead: 2 hops plus ⌈log₂ k⌉ routing bits per message.
+	const k = 16
+	pn := NewPeerNet(k)
+	total := int64(0)
+	for i := 0; i < 100; i++ {
+		bits := 10 + i%7
+		if err := pn.Send(i%k, (i+1)%k, msgOfBits(bits)); err != nil {
+			t.Fatal(err)
+		}
+		total += int64(bits)
+	}
+	native := pn.Stats().TotalBits
+	if native != total {
+		t.Fatalf("native cost %d, want %d", native, total)
+	}
+	sim := pn.CoordinatorSimulatedBits()
+	want := 2*total + 100*int64(math.Ceil(math.Log2(k)))
+	if sim != want {
+		t.Fatalf("simulated cost %d, want %d", sim, want)
+	}
+	// The simulation overhead is bounded by 2 + log k per message bit.
+	if float64(sim) > float64(native)*(2+math.Log2(k)) {
+		t.Fatal("overhead exceeds the §2 bound")
+	}
+}

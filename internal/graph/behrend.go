@@ -1,0 +1,75 @@
+package graph
+
+// This file implements the Behrend/Ruzsa–Szemerédi-style construction the
+// paper points to for future dense lower bounds (§5: "devising a hard
+// distribution for dense graphs ... will require some sophisticated
+// utilization of Behrend graphs [3]"). The construction turns a
+// progression-free set S ⊆ [m] into a tripartite graph whose triangles
+// are exactly the planted ones — every edge lies on exactly one triangle,
+// so the graph is precisely 1/3-far from triangle-free while its
+// triangles are maximally "spread out": the hardest shape for testers
+// that rely on triangle-rich neighborhoods.
+
+// SalemSpencer returns a progression-free subset of [0, m): the integers
+// whose base-3 representation uses only digits 0 and 1. The set has size
+// ≈ m^{log₃2} ≈ m^{0.63} and contains no non-trivial 3-term arithmetic
+// progression (a + c = 2b with a, b, c in the set forces a = b = c,
+// because doubling a 0/1-digit number cannot carry).
+func SalemSpencer(m int) []int {
+	var out []int
+	for v := 0; v < m; v++ {
+		ok := true
+		for x := v; x > 0; x /= 3 {
+			if x%3 == 2 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BehrendGraph is the constructed instance together with its certificate.
+type BehrendGraph struct {
+	// G is the tripartite graph on parts X = [0,m), Y = [m, 3m),
+	// Z = [3m, 6m) (ids offset so every x+a and x+2a fits).
+	G *Graph
+	// M is the construction parameter.
+	M int
+	// S is the progression-free difference set.
+	S []int
+	// Planted is the full triangle family {(x, x+a, x+2a)}: each edge of G
+	// lies on exactly one planted triangle, and G has no other triangles.
+	Planted []Triangle
+}
+
+// NewBehrendGraph builds the Behrend graph for parameter m: vertices
+// x ∈ X, m + y for y ∈ [0, 2m) in Y, 3m + z for z ∈ [0, 3m) in Z; for
+// every x ∈ [0, m) and a ∈ S the triangle
+//
+//	{x, m + (x+a), 3m + (x+2a)}
+//
+// with its three edges. The graph has n = 6m vertices, 3·m·|S| edges,
+// exactly m·|S| triangles (pairwise edge-disjoint), and is exactly
+// 1/3-far from triangle-free.
+func NewBehrendGraph(m int) BehrendGraph {
+	s := SalemSpencer(m)
+	n := 6 * m
+	b := NewBuilder(n)
+	bg := BehrendGraph{M: m, S: s}
+	for x := 0; x < m; x++ {
+		for _, a := range s {
+			vy := m + x + a     // in [m, 3m)
+			vz := 3*m + x + 2*a // in [3m, 6m)
+			b.AddEdge(x, vy)
+			b.AddEdge(vy, vz)
+			b.AddEdge(x, vz)
+			bg.Planted = append(bg.Planted, Triangle{A: x, B: vy, C: vz}.Canon())
+		}
+	}
+	bg.G = b.Build()
+	return bg
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSalemSpencerProgressionFree(t *testing.T) {
+	s := SalemSpencer(200)
+	if len(s) < 10 {
+		t.Fatalf("set too small: %d", len(s))
+	}
+	in := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 200 {
+			t.Fatalf("element %d out of range", v)
+		}
+		in[v] = true
+	}
+	// No non-trivial 3-term AP: a + c = 2b.
+	for _, a := range s {
+		for _, c := range s {
+			if a >= c {
+				continue
+			}
+			if (a+c)%2 == 0 && in[(a+c)/2] {
+				t.Fatalf("AP found: %d, %d, %d", a, (a+c)/2, c)
+			}
+		}
+	}
+}
+
+func TestSalemSpencerDensity(t *testing.T) {
+	// |S ∩ [0, 3^k)| = 2^k exactly.
+	if got := len(SalemSpencer(27)); got != 8 {
+		t.Fatalf("|S ∩ [0,27)| = %d, want 8", got)
+	}
+	if got := len(SalemSpencer(81)); got != 16 {
+		t.Fatalf("|S ∩ [0,81)| = %d, want 16", got)
+	}
+}
+
+func TestBehrendGraphExactStructure(t *testing.T) {
+	for _, m := range []int{9, 27, 50} {
+		bg := NewBehrendGraph(m)
+		wantTri := int64(m * len(bg.S))
+		if got := bg.G.CountTriangles(); got != wantTri {
+			t.Fatalf("m=%d: %d triangles, want %d", m, got, wantTri)
+		}
+		if got := int64(len(bg.Planted)); got != wantTri {
+			t.Fatalf("m=%d: planted %d, want %d", m, got, wantTri)
+		}
+		if bg.G.M() != 3*m*len(bg.S) {
+			t.Fatalf("m=%d: %d edges, want %d", m, bg.G.M(), 3*m*len(bg.S))
+		}
+		// The planted family is a perfect edge-disjoint decomposition:
+		// packing = all triangles, farness exactly 1/3.
+		used := map[Edge]bool{}
+		for _, tr := range bg.Planted {
+			if !bg.G.IsTriangle(tr.A, tr.B, tr.C) {
+				t.Fatalf("m=%d: planted %v not a triangle", m, tr)
+			}
+			for _, e := range tr.Edges() {
+				if used[e] {
+					t.Fatalf("m=%d: planted triangles share edge %v", m, e)
+				}
+				used[e] = true
+			}
+		}
+		if len(used) != bg.G.M() {
+			t.Fatalf("m=%d: decomposition covers %d of %d edges", m, len(used), bg.G.M())
+		}
+	}
+}
+
+func TestBehrendEveryEdgeOnExactlyOneTriangle(t *testing.T) {
+	bg := NewBehrendGraph(30)
+	// Count triangle membership per edge by enumerating all triangles.
+	count := map[Edge]int{}
+	for _, tr := range bg.G.Triangles(-1) {
+		for _, e := range tr.Edges() {
+			count[e]++
+		}
+	}
+	bg.G.VisitEdges(func(e Edge) bool {
+		if count[e] != 1 {
+			t.Errorf("edge %v lies on %d triangles, want exactly 1", e, count[e])
+			return false
+		}
+		return true
+	})
+}
+
+func TestBehrendFarness(t *testing.T) {
+	bg := NewBehrendGraph(40)
+	// Exactly 1/3-far: the packing certificate gives exactly m·|S| and no
+	// removal set smaller than the packing can hit all (disjoint) triangles.
+	if eps := bg.G.FarnessLowerBound(); eps < 0.3333 || eps > 0.3334 {
+		t.Fatalf("farness certificate %v, want 1/3", eps)
+	}
+}
+
+func TestQuickBehrendTriangleCount(t *testing.T) {
+	f := func(raw uint8) bool {
+		m := int(raw)%40 + 3
+		bg := NewBehrendGraph(m)
+		return bg.G.CountTriangles() == int64(m*len(bg.S))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

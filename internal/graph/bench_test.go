@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	edges := ErdosRenyi(4096, 0.004, rng).Edges()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromEdges(4096, edges)
+	}
+}
+
+func BenchmarkCountTriangles(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := ErdosRenyi(2048, 0.01, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CountTriangles()
+	}
+}
+
+func BenchmarkPackTriangles(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := FarWithDegree(FarParams{N: 2048, D: 16, Eps: 0.2}, rng).G
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PackTriangles()
+	}
+}
+
+func BenchmarkFarWithDegree(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FarWithDegree(FarParams{N: 4096, D: 8, Eps: 0.2}, rng)
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := ErdosRenyi(10000, 0.001, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(i%10000, (i*7+1)%10000)
+	}
+}
+
+func BenchmarkBehrendGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewBehrendGraph(243)
+	}
+}

@@ -1,0 +1,145 @@
+package graph
+
+import "math/bits"
+
+// This file implements ε-farness machinery. A graph is ε-far from
+// triangle-free if at least ε·|E| edges must be removed to destroy every
+// triangle. Computing the exact distance is NP-hard in general (it is
+// minimum triangle edge-cover), but the paper's analyses only ever use a
+// family of edge-disjoint triangles / triangle-vees as a *certificate*:
+// any family of t edge-disjoint triangles forces ≥ t edge removals.
+
+// PackTriangles returns a maximal family of pairwise edge-disjoint
+// triangles, computed greedily over the canonical triangle enumeration.
+// Its size is a lower bound on the distance to triangle-freeness (each
+// packed triangle needs a private removed edge) and at least 1/3 of the
+// maximum packing.
+func (g *Graph) PackTriangles() []Triangle {
+	used := make(map[uint64]bool)
+	var out []Triangle
+	g.visitTriangles(func(t Triangle) bool {
+		es := t.Edges()
+		for _, e := range es {
+			if used[edgeKey(g.n, e.U, e.V)] {
+				return true
+			}
+		}
+		for _, e := range es {
+			used[edgeKey(g.n, e.U, e.V)] = true
+		}
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// FarnessLowerBound returns a certified lower bound on the distance ε such
+// that g is ε-far from triangle-free: (size of an edge-disjoint triangle
+// packing) / |E|. Returns 0 for an empty or triangle-free graph.
+func (g *Graph) FarnessLowerBound() float64 {
+	if g.m == 0 {
+		return 0
+	}
+	return float64(len(g.PackTriangles())) / float64(g.m)
+}
+
+// ExactTriangleDistance computes, by exhaustive search over removal
+// subsets of the triangle edges, the minimum number of edge removals that
+// make g triangle-free. It is exponential and intended only for tests on
+// tiny graphs (panics if more than 24 edges participate in triangles).
+func (g *Graph) ExactTriangleDistance() int {
+	tri := g.Triangles(-1)
+	if len(tri) == 0 {
+		return 0
+	}
+	// Collect the edges participating in triangles; removals outside this
+	// set are never useful.
+	idx := make(map[uint64]int)
+	var edges []Edge
+	for _, t := range tri {
+		for _, e := range t.Edges() {
+			k := edgeKey(g.n, e.U, e.V)
+			if _, ok := idx[k]; !ok {
+				idx[k] = len(edges)
+				edges = append(edges, e)
+			}
+		}
+	}
+	if len(edges) > 24 {
+		panic("graph: ExactTriangleDistance limited to 24 triangle edges")
+	}
+	// Each triangle is a 3-bit mask over the candidate edges; a removal set
+	// is feasible iff it hits every mask.
+	masks := make([]uint32, len(tri))
+	for i, t := range tri {
+		var m uint32
+		for _, e := range t.Edges() {
+			m |= 1 << uint(idx[edgeKey(g.n, e.U, e.V)])
+		}
+		masks[i] = m
+	}
+	best := len(edges)
+	for s := uint32(0); s < 1<<uint(len(edges)); s++ {
+		if bits.OnesCount32(s) >= best {
+			continue
+		}
+		ok := true
+		for _, m := range masks {
+			if s&m == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best = bits.OnesCount32(s)
+		}
+	}
+	return best
+}
+
+// IsTriangleFree reports whether g contains no triangle.
+func (g *Graph) IsTriangleFree() bool {
+	_, ok := g.FindTriangle()
+	return !ok
+}
+
+// FarnessReport summarizes the farness structure of a graph for
+// experiment logs.
+type FarnessReport struct {
+	N, M          int
+	AvgDegree     float64
+	Triangles     int64
+	PackingSize   int
+	EpsLowerBound float64
+	DisjointVees  int // Σ_v per-source maximal disjoint vees
+	TriangleEdges int
+	MaxDegree     int
+}
+
+// Analyze computes a FarnessReport. Triangle counting is skipped (set to
+// -1) when the graph has more than maxTriangleWork edges and countAll is
+// false.
+func (g *Graph) Analyze(countAll bool) FarnessReport {
+	r := FarnessReport{
+		N:         g.n,
+		M:         g.m,
+		AvgDegree: g.AvgDegree(),
+		MaxDegree: g.MaxDegree(),
+	}
+	pack := g.PackTriangles()
+	r.PackingSize = len(pack)
+	if g.m > 0 {
+		r.EpsLowerBound = float64(len(pack)) / float64(g.m)
+	}
+	for _, c := range g.DisjointVeeCount() {
+		r.DisjointVees += c
+	}
+	if countAll {
+		r.Triangles = g.CountTriangles()
+		r.TriangleEdges = len(g.TriangleEdges())
+	} else {
+		r.Triangles = -1
+		r.TriangleEdges = -1
+	}
+	return r
+}

@@ -1,0 +1,243 @@
+// Package graph provides the undirected-graph substrate for the
+// triangle-freeness protocols: a compact adjacency representation,
+// triangle enumeration and edge-disjoint packing (the ε-farness
+// certificates the paper's analysis relies on), triangle-vee analysis,
+// and the workload generators used by the experiments.
+//
+// Graphs are simple (no self-loops, no parallel edges) over the vertex set
+// [0, n). Average degree follows the paper's convention d = 2|E|/n, so the
+// total edge count is nd/2 (the paper freely writes "nd edges" up to the
+// factor of two; we keep d = 2m/n exact throughout).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"tricomm/internal/wire"
+)
+
+// Edge is re-exported so callers of this package need not import wire for
+// the common case.
+type Edge = wire.Edge
+
+// Graph is an immutable simple undirected graph. Build one with a Builder
+// or a generator. All methods are safe for concurrent use after
+// construction.
+type Graph struct {
+	n   int
+	m   int
+	adj [][]int32       // sorted neighbor lists
+	set map[uint64]bool // canonical edge keys for O(1) membership
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Builder{n: n, set: make(map[uint64]bool)}
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// insertions and self-loops are ignored. Builder is not safe for
+// concurrent use.
+type Builder struct {
+	n     int
+	set   map[uint64]bool
+	edges []Edge
+}
+
+// N reports the vertex count the builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicates are
+// silently ignored; out-of-range endpoints panic (they indicate a generator
+// bug, not a runtime condition).
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	k := edgeKey(b.n, u, v)
+	if b.set[k] {
+		return
+	}
+	b.set[k] = true
+	b.edges = append(b.edges, Edge{U: u, V: v}.Canon())
+}
+
+// Has reports whether {u,v} has been added.
+func (b *Builder) Has(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= b.n || v >= b.n {
+		return false
+	}
+	return b.set[edgeKey(b.n, u, v)]
+}
+
+// NumEdges reports the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build freezes the builder into an immutable Graph. The builder must not
+// be used afterwards.
+func (b *Builder) Build() *Graph {
+	g := &Graph{n: b.n, m: len(b.edges), set: b.set}
+	deg := make([]int, b.n)
+	for _, e := range b.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	g.adj = make([][]int32, b.n)
+	for v, d := range deg {
+		g.adj[v] = make([]int32, 0, d)
+	}
+	for _, e := range b.edges {
+		g.adj[e.U] = append(g.adj[e.U], int32(e.V))
+		g.adj[e.V] = append(g.adj[e.V], int32(e.U))
+	}
+	for v := range g.adj {
+		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i] < g.adj[v][j] })
+	}
+	b.set = nil
+	b.edges = nil
+	return g
+}
+
+// FromEdges builds a graph on n vertices from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// edgeKey maps a canonical edge to a unique uint64 key.
+func edgeKey(n, u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)*uint64(n) + uint64(v)
+}
+
+// N reports the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M reports the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AvgDegree reports the average degree d = 2|E|/n.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// Degree reports deg(v).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree reports the maximum degree over all vertices (0 for an empty
+// graph).
+func (g *Graph) MaxDegree() int {
+	maxd := 0
+	for _, a := range g.adj {
+		if len(a) > maxd {
+			maxd = len(a)
+		}
+	}
+	return maxd
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// shared; callers must not modify it.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether {u,v} ∈ E.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	return g.set[edgeKey(g.n, u, v)]
+}
+
+// Edges returns all edges in canonical sorted order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				out = append(out, Edge{U: u, V: int(w)})
+			}
+		}
+	}
+	return out
+}
+
+// VisitEdges calls fn for every edge in canonical sorted order, stopping
+// early if fn returns false.
+func (g *Graph) VisitEdges(fn func(Edge) bool) {
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				if !fn(Edge{U: u, V: int(w)}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// IncidentEdges returns the edges incident to v, each in canonical form.
+func (g *Graph) IncidentEdges(v int) []Edge {
+	out := make([]Edge, 0, len(g.adj[v]))
+	for _, w := range g.adj[v] {
+		out = append(out, Edge{U: v, V: int(w)}.Canon())
+	}
+	return out
+}
+
+// Subgraph returns the subgraph induced by keep (as a graph on the same
+// vertex universe [0,n) with only the induced edges).
+func (g *Graph) Subgraph(keep map[int]bool) *Graph {
+	b := NewBuilder(g.n)
+	for u := range keep {
+		if u < 0 || u >= g.n {
+			continue
+		}
+		for _, w := range g.adj[u] {
+			if int(w) > u && keep[int(w)] {
+				b.AddEdge(u, int(w))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RemoveEdges returns a copy of g with the given edges removed.
+func (g *Graph) RemoveEdges(remove []Edge) *Graph {
+	drop := make(map[uint64]bool, len(remove))
+	for _, e := range remove {
+		drop[edgeKey(g.n, e.U, e.V)] = true
+	}
+	b := NewBuilder(g.n)
+	g.VisitEdges(func(e Edge) bool {
+		if !drop[edgeKey(g.n, e.U, e.V)] {
+			b.AddEdge(e.U, e.V)
+		}
+		return true
+	})
+	return b.Build()
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.n; v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	wantIDs := []string{"E1", "E2a", "E2b", "E2c", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	if len(all) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if all[i].ID != id {
+			t.Fatalf("experiment %d: id %s, want %s (ordering)", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].PaperClaim == "" || all[i].Run == nil {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("E6"); !ok {
+		t.Fatal("E6 not found")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:         "T",
+		Title:      "demo",
+		PaperClaim: "claim",
+		Columns:    []string{"a", "long_column"},
+	}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("xyz", 3.14159)
+	tb.AddNote("hello %d", 42)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== T: demo ==", "paper: claim", "long_column", "3.142", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"x", "y"}}
+	tb.AddRow(1, 2)
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "x,y\n1,2\n" {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestIDOrdering(t *testing.T) {
+	if !idLess("E2a", "E10") {
+		t.Fatal("E2a should precede E10")
+	}
+	if idLess("E10", "E2") {
+		t.Fatal("E10 should follow E2")
+	}
+	if !idLess("E2a", "E2b") {
+		t.Fatal("E2a should precede E2b")
+	}
+}
+
+func TestRunConfigTrials(t *testing.T) {
+	if (RunConfig{}).trials(5) != 5 {
+		t.Fatal("default trials wrong")
+	}
+	if (RunConfig{Quick: true}).trials(5) != 2 {
+		t.Fatal("quick trials wrong")
+	}
+	if (RunConfig{Trials: 9}).trials(5) != 9 {
+		t.Fatal("override trials wrong")
+	}
+}
+
+// TestQuickExperimentsRun executes the fast experiments end to end in
+// quick mode; the heavyweight sweeps (E1, E2b, E7, E8) are covered by the
+// benchmark harness and cmd/benchtable.
+func TestQuickExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := RunConfig{Seed: 7, Quick: true, Trials: 2}
+	for _, id := range []string{"E2a", "E2c", "E5", "E6", "E9", "E10", "E11"} {
+		exp, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		tb, err := exp.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		var sb strings.Builder
+		if err := tb.Render(&sb); err != nil {
+			t.Fatalf("%s render: %v", id, err)
+		}
+	}
+}
+
+func TestProbeExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := RunConfig{Seed: 11, Quick: true, Trials: 4}
+	for _, id := range []string{"E3", "E4"} {
+		exp, _ := Lookup(id)
+		tb, err := exp.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}

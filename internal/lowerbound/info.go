@@ -1,0 +1,63 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the small information-theory toolkit of §4.1 — KL
+// divergence and entropy for Bernoulli variables — together with the
+// paper's two analytic inequalities (Lemma 4.3 and Lemma 4.13), exposed
+// as checkable functions. The lower-bound proofs are not runnable, but
+// their analytic steps are: the test suite verifies both inequalities
+// numerically across their stated domains.
+
+// EntropyBernoulli returns H(p) in bits. H(0) = H(1) = 0.
+func EntropyBernoulli(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// KLBernoulli returns D(q ‖ p) in bits: the divergence between
+// Bernoulli(q) and Bernoulli(p). It is +Inf when q puts mass where p has
+// none.
+func KLBernoulli(q, p float64) float64 {
+	if q < 0 || q > 1 || p < 0 || p > 1 {
+		panic(fmt.Sprintf("lowerbound: KLBernoulli domain error q=%v p=%v", q, p))
+	}
+	term := func(a, b float64) float64 {
+		if a == 0 {
+			return 0
+		}
+		if b == 0 {
+			return math.Inf(1)
+		}
+		return a * math.Log2(a/b)
+	}
+	return term(q, p) + term(1-q, 1-p)
+}
+
+// Lemma43LowerBound returns the right-hand side of Lemma 4.3,
+// D(q ‖ p) ≥ q − 2p for p < 1/2, in bits (the paper states the inequality
+// with log base 2).
+func Lemma43LowerBound(q, p float64) float64 { return q - 2*p }
+
+// Lemma413LowerBound returns the right-hand side of Lemma 4.13: a
+// reported edge (posterior ≥ 9/10 against prior γ/√n) contributes at
+// least (9/40)·log₂ n bits of divergence, for γ < 1/2 and large n.
+func Lemma413LowerBound(n int) float64 { return 9.0 / 40 * math.Log2(float64(n)) }
+
+// ReportedEdgeDivergence returns D(9/10 ‖ γ/√n) — the divergence cost of
+// reporting one edge under µ — in bits.
+func ReportedEdgeDivergence(n int, gamma float64) float64 {
+	return KLBernoulli(0.9, gamma/math.Sqrt(float64(n)))
+}
+
+// MaxReportedEdges returns the Corollary 4.14 budget bound: with C
+// communication bits a player can report at most C / ((9/40)·log₂ n)
+// edges in expectation.
+func MaxReportedEdges(budgetBits float64, n int) float64 {
+	return budgetBits / Lemma413LowerBound(n)
+}

@@ -1,0 +1,103 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntropyBernoulli(t *testing.T) {
+	if EntropyBernoulli(0.5) != 1 {
+		t.Fatalf("H(1/2) = %v", EntropyBernoulli(0.5))
+	}
+	if EntropyBernoulli(0) != 0 || EntropyBernoulli(1) != 0 {
+		t.Fatal("H(0)/H(1) not zero")
+	}
+	// Symmetry and concavity spot checks.
+	if math.Abs(EntropyBernoulli(0.2)-EntropyBernoulli(0.8)) > 1e-12 {
+		t.Fatal("entropy not symmetric")
+	}
+	if EntropyBernoulli(0.3) <= EntropyBernoulli(0.1) {
+		t.Fatal("entropy not increasing toward 1/2")
+	}
+}
+
+func TestKLBernoulliBasics(t *testing.T) {
+	if KLBernoulli(0.3, 0.3) != 0 {
+		t.Fatalf("D(p‖p) = %v", KLBernoulli(0.3, 0.3))
+	}
+	if KLBernoulli(0.5, 0.1) <= 0 {
+		t.Fatal("divergence of distinct distributions not positive")
+	}
+	if !math.IsInf(KLBernoulli(0.5, 0), 1) {
+		t.Fatal("D(q‖0) should be +Inf for q > 0")
+	}
+	if KLBernoulli(0, 0) != 0 {
+		t.Fatal("D(0‖0) should be 0")
+	}
+}
+
+func TestKLBernoulliDomainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-domain accepted")
+		}
+	}()
+	KLBernoulli(1.5, 0.5)
+}
+
+func TestQuickKLNonNegative(t *testing.T) {
+	f := func(qRaw, pRaw uint16) bool {
+		q := float64(qRaw) / 65535
+		p := float64(pRaw) / 65535
+		return KLBernoulli(q, p) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma43Numerically(t *testing.T) {
+	// Lemma 4.3: for p < 1/2, D(q ‖ p) ≥ q − 2p. Verify on a dense grid.
+	for pi := 1; pi < 50; pi++ {
+		p := float64(pi) / 100 // p ∈ (0, 0.5)
+		for qi := 0; qi <= 100; qi++ {
+			q := float64(qi) / 100
+			lhs := KLBernoulli(q, p)
+			rhs := Lemma43LowerBound(q, p)
+			if lhs < rhs-1e-9 {
+				t.Fatalf("Lemma 4.3 violated at q=%v p=%v: D=%v < %v", q, p, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestLemma413Numerically(t *testing.T) {
+	// Lemma 4.13: for γ < 1/2 and large n, D(9/10 ‖ γ/√n) ≥ (9/40)·log₂ n.
+	for _, n := range []int{64, 256, 1024, 65536, 1 << 20} {
+		for _, gamma := range []float64{0.1, 0.25, 0.49} {
+			lhs := ReportedEdgeDivergence(n, gamma)
+			rhs := Lemma413LowerBound(n)
+			if lhs < rhs {
+				t.Fatalf("Lemma 4.13 violated at n=%d γ=%v: D=%v < %v", n, gamma, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestMaxReportedEdges(t *testing.T) {
+	// Corollary 4.14 shape: a √n-bit budget reports O(√n / log n) edges.
+	n := 1 << 16
+	budget := math.Sqrt(float64(n))
+	got := MaxReportedEdges(budget, n)
+	want := budget / (9.0 / 40 * 16)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MaxReportedEdges = %v, want %v", got, want)
+	}
+	// Sanity: far fewer than the √n/(2γ) covered edges a good transcript
+	// needs (Lemma 4.8), which is the heart of the Ω(√n) argument.
+	needed := math.Sqrt(float64(n)) / (2 * 0.25)
+	if got >= needed {
+		t.Fatalf("budget √n reports %v ≥ needed %v — the bound's tension is gone", got, needed)
+	}
+}

@@ -1,0 +1,454 @@
+package lowerbound
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tricomm/internal/comm"
+	"tricomm/internal/protocol"
+	"tricomm/internal/wire"
+	"tricomm/internal/xrand"
+)
+
+func TestSampleMuStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := SampleMu(MuParams{NPart: 100, Gamma: 2}, rng)
+	if inst.N() != 300 {
+		t.Fatalf("N = %d", inst.N())
+	}
+	// Partition respects the player sides.
+	for _, e := range inst.Alice {
+		if !(inst.Part(e.U) == 0 && inst.Part(e.V) == 1 || inst.Part(e.U) == 1 && inst.Part(e.V) == 0) {
+			t.Fatalf("Alice edge %v not in U×V1", e)
+		}
+	}
+	for _, e := range inst.Bob {
+		lo, hi := inst.Part(e.U), inst.Part(e.V)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo != 0 || hi != 2 {
+			t.Fatalf("Bob edge %v not in U×V2", e)
+		}
+	}
+	for _, e := range inst.Charlie {
+		lo, hi := inst.Part(e.U), inst.Part(e.V)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo != 1 || hi != 2 {
+			t.Fatalf("Charlie edge %v not in V1×V2", e)
+		}
+	}
+	// The three inputs partition E exactly.
+	if len(inst.Alice)+len(inst.Bob)+len(inst.Charlie) != inst.G.M() {
+		t.Fatal("player inputs do not partition E")
+	}
+	// Edge count ≈ 3·NPart²·γ/√n.
+	want := 3 * 100.0 * 100 * 2 / math.Sqrt(300)
+	if got := float64(inst.G.M()); got < 0.8*want || got > 1.2*want {
+		t.Fatalf("M = %v, want ~%v", got, want)
+	}
+}
+
+func TestMuFarnessLemma45(t *testing.T) {
+	// Lemma 4.5: with constant probability (here: on most seeds) a µ graph
+	// carries Ω(n^{3/2}) disjoint triangles, i.e. is Ω(1)-far. With
+	// γ = 2 the constant is comfortable; require eps ≥ 0.02 on ≥ 7/10
+	// seeds.
+	good := 0
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := SampleMu(MuParams{NPart: 120, Gamma: 2}, rng)
+		if _, eps := inst.FarnessCertificate(); eps >= 0.02 {
+			good++
+		}
+	}
+	if good < 7 {
+		t.Fatalf("only %d/10 µ samples were Ω(1)-far", good)
+	}
+}
+
+func TestMuAverageDegreeIsSqrtN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := SampleMu(MuParams{NPart: 200, Gamma: 1.5}, rng)
+	n := float64(inst.N())
+	d := inst.G.AvgDegree()
+	// d = 2m/n ≈ 2·(n²/3)·γ/√n / n = (2γ/3)·√n.
+	want := 2 * 1.5 / 3 * math.Sqrt(n)
+	if d < 0.8*want || d > 1.2*want {
+		t.Fatalf("avg degree %v, want ~%v", d, want)
+	}
+}
+
+func TestIsValidOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst := SampleMu(MuParams{NPart: 80, Gamma: 2.5}, rng)
+	valid := inst.TriangleEdgesOfCharlie()
+	if len(valid) == 0 {
+		t.Skip("no triangle edges on this seed")
+	}
+	for _, e := range valid[:min(5, len(valid))] {
+		if !inst.IsValidOutput(e) {
+			t.Fatalf("valid edge %v rejected", e)
+		}
+	}
+	// An Alice-side edge is never a valid output.
+	if len(inst.Alice) > 0 && inst.IsValidOutput(inst.Alice[0]) {
+		t.Fatal("Alice edge accepted as output")
+	}
+	// A non-edge is never valid.
+	if inst.IsValidOutput(wire.Edge{U: inst.NPart, V: 2 * inst.NPart}) {
+		// This pair may actually be an edge; find a guaranteed non-edge.
+		t.Log("pair happened to be an edge; skipping")
+	}
+}
+
+func TestEmbedSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := SampleMu(MuParams{NPart: 60, Gamma: 2}, rng)
+	origPack, _ := inst.FarnessCertificate()
+	sparse, nTotal := inst.EmbedSparse(2.0)
+	if nTotal <= inst.N() {
+		t.Fatalf("embedding did not grow: %d", nTotal)
+	}
+	if got := sparse.G.AvgDegree(); got > 2.05 {
+		t.Fatalf("avg degree %v > target 2", got)
+	}
+	newPack, _ := sparse.FarnessCertificate()
+	if newPack != origPack {
+		t.Fatalf("packing changed: %d → %d", origPack, newPack)
+	}
+	// No-op when target is above current degree.
+	same, n2 := inst.EmbedSparse(1e9)
+	if n2 != inst.N() || same.G != inst.G {
+		t.Fatal("EmbedSparse should be a no-op for high targets")
+	}
+}
+
+func TestOneWayProbeThreshold(t *testing.T) {
+	// The star strategy should go from near-0 to near-1 success as the
+	// budget passes ~n^{1/4}·log n: test one low and one high budget.
+	const trials = 10
+	lowSucc, highSucc := 0, 0
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := SampleMu(MuParams{NPart: 250, Gamma: 2}, rng)
+		shared := xrand.New(uint64(seed))
+		// n = 750, n^{1/4} ≈ 5.2, vertex id = 10 bits.
+		low, err := OneWayProbe{BudgetBits: 40}.Run(inst, shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if low.Success {
+			lowSucc++
+		}
+		high, err := OneWayProbe{BudgetBits: 4000}.Run(inst, shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if high.Success {
+			highSucc++
+		}
+		// Coverage must be quadratic-ish: with budget B the covered count
+		// is ~ (B/log n)².
+		if high.Covered <= low.Covered {
+			t.Fatalf("coverage did not grow with budget: %d vs %d", low.Covered, high.Covered)
+		}
+		if high.Bits > 2*4000+100 {
+			t.Fatalf("budget exceeded: %d bits", high.Bits)
+		}
+	}
+	if highSucc < 7 {
+		t.Fatalf("high-budget success %d/10, want ≥ 7", highSucc)
+	}
+	if lowSucc > highSucc-3 {
+		t.Fatalf("no budget separation: low %d, high %d", lowSucc, highSucc)
+	}
+}
+
+func TestOneWayProbeOutputsAreValid(t *testing.T) {
+	for seed := int64(20); seed < 26; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := SampleMu(MuParams{NPart: 150, Gamma: 2}, rng)
+		res, err := OneWayProbe{BudgetBits: 2000}.Run(inst, xrand.New(uint64(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// If the probe claims success the output must really be a Charlie
+		// triangle edge (Success is defined by IsValidOutput, so this
+		// checks internal consistency of the closing logic instead).
+		if res.Success && !inst.IsValidOutput(res.Output) {
+			t.Fatalf("inconsistent success for %v", res.Output)
+		}
+		// The strategy only outputs pairs it saw covered AND present in
+		// Charlie's view, so any output must be a genuine triangle edge.
+		if (res.Output != wire.Edge{}) && !res.Success {
+			t.Fatalf("probe output %v is not a valid triangle edge", res.Output)
+		}
+	}
+}
+
+func TestSimProbeThresholdAndGap(t *testing.T) {
+	// The simultaneous window strategy needs a much larger budget than the
+	// one-way star strategy on the same instances — the paper's
+	// quadratic separation, measured.
+	const trials = 10
+	// Calibrated inside the gap: at n = 750 the one-way star strategy
+	// saturates by ~80 bits while the simultaneous window strategy needs
+	// ~600+ (see the harness probe experiment for the full curves).
+	const budget = 150
+	oneWayWins, simWins := 0, 0
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := SampleMu(MuParams{NPart: 250, Gamma: 2}, rng)
+		shared := xrand.New(uint64(seed) + 50)
+		ow, err := OneWayProbe{BudgetBits: budget}.Run(inst, shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ow.Success {
+			oneWayWins++
+		}
+		sp, err := SimProbe{BudgetBits: budget, Gamma: 2}.Run(inst, shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Success {
+			simWins++
+		}
+	}
+	if oneWayWins <= simWins {
+		t.Fatalf("no separation at equal budget: one-way %d vs sim %d", oneWayWins, simWins)
+	}
+	// And with a large enough budget the sim strategy succeeds too.
+	bigWins := 0
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := SampleMu(MuParams{NPart: 250, Gamma: 2}, rng)
+		res, err := SimProbe{BudgetBits: 200000, Gamma: 2}.Run(inst, xrand.New(uint64(seed)+99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Success {
+			bigWins++
+		}
+	}
+	if bigWins < 6 {
+		t.Fatalf("sim probe with big budget succeeded only %d/10", bigWins)
+	}
+}
+
+func TestSimProbeBudgetRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := SampleMu(MuParams{NPart: 200, Gamma: 2}, rng)
+	res, err := SimProbe{BudgetBits: 1000, Gamma: 2}.Run(inst, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits > 3*1000+200 {
+		t.Fatalf("sim probe exceeded budget: %d bits for 3 players × 1000", res.Bits)
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	inst := SampleMu(MuParams{NPart: 50, Gamma: 2}, rng)
+	if _, err := (OneWayProbe{}).Run(inst, xrand.New(1)); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := (SimProbe{BudgetBits: 100}).Run(inst, xrand.New(1)); err == nil {
+		t.Fatal("zero gamma accepted")
+	}
+}
+
+func TestBHMReductionDichotomy(t *testing.T) {
+	// Theorem 4.16: all-zeros side ⇒ n edge-disjoint triangles; all-ones
+	// side ⇒ triangle-free. Exact, for every seed.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + int(seed)
+		for _, allZero := range []bool{true, false} {
+			inst := SampleBHM(n, allZero, rng)
+			red := Reduce(inst)
+			got := red.G.CountTriangles()
+			if got != red.ExpectedTriangles() {
+				t.Fatalf("n=%d allZero=%v: %d triangles, want %d",
+					n, allZero, got, red.ExpectedTriangles())
+			}
+			if allZero {
+				if pack := len(red.G.PackTriangles()); pack != n {
+					t.Fatalf("packing %d, want %d", pack, n)
+				}
+			}
+		}
+	}
+}
+
+func TestBHMGraphShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := SampleBHM(12, true, rng)
+	red := Reduce(inst)
+	if red.G.N() != 4*12+1 {
+		t.Fatalf("N = %d", red.G.N())
+	}
+	if len(red.AliceEdges) != 2*12 {
+		t.Fatalf("Alice has %d edges", len(red.AliceEdges))
+	}
+	if len(red.BobEdges) != 2*12 {
+		t.Fatalf("Bob has %d edges", len(red.BobEdges))
+	}
+	// Constant average degree (the d = Θ(1) regime of Theorem 4.16).
+	if d := red.G.AvgDegree(); d > 4 {
+		t.Fatalf("avg degree %v not O(1)-ish", d)
+	}
+}
+
+func TestQuickBHMTriangleStructure(t *testing.T) {
+	// Property: for arbitrary instances the number of triangles equals the
+	// number of zero coordinates of Mx⊕w (triangle ⇔ (Mx⊕w)_j = 0).
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw)%12 + 2
+		rng := rand.New(rand.NewSource(seed))
+		inst := SampleBHM(n, seed%2 == 0, rng)
+		// Perturb w arbitrarily to leave the promise.
+		for j := range inst.W {
+			if rng.Intn(3) == 0 {
+				inst.W[j] = !inst.W[j]
+			}
+		}
+		zeros := 0
+		for j := range inst.M {
+			parity := inst.X[inst.M[j][0]] != inst.X[inst.M[j][1]]
+			if parity == inst.W[j] {
+				zeros++
+			}
+		}
+		return Reduce(inst).G.CountTriangles() == int64(zeros)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBHMSolvedByTester(t *testing.T) {
+	// Our simultaneous testers solve BHM through the reduction with cost
+	// Õ(√n) — matching the Ω(√n) lower bound shape. Verify correctness of
+	// the decoded answers on both sides.
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, allZero := range []bool{true, false} {
+			inst := SampleBHM(150, allZero, rng)
+			red := Reduce(inst)
+			cfg := comm.Config{N: red.G.N(), Inputs: red.Inputs(), Shared: xrand.New(uint64(seed))}
+			res, err := protocol.SimLow{
+				Eps: 0.2, AvgDegree: red.G.AvgDegree(), Delta: 0.1,
+			}.Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !allZero && DecodeAnswer(res.Found()) {
+				t.Fatalf("seed %d: tester found a triangle on the all-ones side", seed)
+			}
+			// One-sided: on the all-zeros side the tester may miss, but a
+			// found triangle must decode correctly.
+			if res.Found() && !DecodeAnswer(res.Found()) {
+				t.Fatal("decode inconsistent")
+			}
+		}
+	}
+}
+
+func TestEmbed3ToK(t *testing.T) {
+	x1 := []wire.Edge{{U: 0, V: 1}}
+	x2 := []wire.Edge{{U: 1, V: 2}}
+	x3 := []wire.Edge{{U: 2, V: 3}}
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		emb := Embed3ToK(x1, x2, x3, 8, rng)
+		if emb.I == emb.J {
+			t.Fatal("I == J")
+		}
+		if emb.I == 7 || emb.J == 7 {
+			t.Fatal("player k-1 received a distinguished input")
+		}
+		for p := 0; p < 8; p++ {
+			want := x3
+			switch p {
+			case emb.I:
+				want = x1
+			case emb.J:
+				want = x2
+			}
+			if len(emb.Inputs[p]) != len(want) || emb.Inputs[p][0] != want[0] {
+				t.Fatalf("player %d got wrong input", p)
+			}
+		}
+	}
+}
+
+func TestEmbed3ToKUniform(t *testing.T) {
+	// (I, J) must be uniform over ordered pairs of distinct players ≠ k-1.
+	rng := rand.New(rand.NewSource(11))
+	const k = 5
+	counts := map[[2]int]int{}
+	const trials = 12000
+	for trial := 0; trial < trials; trial++ {
+		emb := Embed3ToK(nil, nil, nil, k, rng)
+		counts[[2]int{emb.I, emb.J}]++
+	}
+	want := float64(trials) / float64((k-1)*(k-2))
+	for pair, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("pair %v count %d, want ~%v", pair, c, want)
+		}
+	}
+	if len(counts) != (k-1)*(k-2) {
+		t.Fatalf("saw %d pairs, want %d", len(counts), (k-1)*(k-2))
+	}
+}
+
+func TestSimulateOneWayCost(t *testing.T) {
+	emb := Embedding{I: 1, J: 3}
+	bits := []int64{10, 20, 30, 40, 50}
+	if got := SimulateOneWayCost(bits, emb); got != 60 {
+		t.Fatalf("cost = %d, want 60", got)
+	}
+}
+
+func TestSymmetrizationCostRelation(t *testing.T) {
+	// Theorem 4.15 accounting: for a symmetric simultaneous protocol, the
+	// expected derived one-way cost is (2/k)·CC. Run SimLow on embedded µ
+	// inputs and check E[bits_I + bits_J] ≈ (2/k)·total.
+	rng := rand.New(rand.NewSource(12))
+	inst := SampleMu(MuParams{NPart: 80, Gamma: 2}, rng)
+	const k = 6
+	var sumDerived, sumTotal float64
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		emb := Embed3ToK(inst.Alice, inst.Bob, inst.Charlie, k, rng)
+		cfg := comm.Config{N: inst.N(), Inputs: emb.Inputs, Shared: xrand.New(uint64(trial))}
+		res, err := protocol.SimLow{Eps: 0.1, AvgDegree: inst.G.AvgDegree(), Delta: 0.1}.
+			Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumDerived += float64(SimulateOneWayCost(res.Stats.PerPlayer, emb))
+		sumTotal += float64(res.Stats.TotalBits)
+	}
+	ratio := sumDerived / sumTotal
+	want := 2.0 / k
+	if ratio < 0.5*want || ratio > 2*want {
+		t.Fatalf("derived/total = %v, want ~%v", ratio, want)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tricomm/internal/wire"
+)
+
+// Embedding records how a 3-player input was embedded into a k-player
+// instance by the symmetrization reduction of Theorem 4.15.
+type Embedding struct {
+	// I and J are the (distinct) players, both ≠ k-1, that received X1 and
+	// X2 respectively.
+	I, J int
+	// Inputs is the k-player input vector: Inputs[I] = X1, Inputs[J] = X2,
+	// and every other player holds a copy of X3.
+	Inputs [][]wire.Edge
+}
+
+// Embed3ToK performs the symmetrization embedding: X1 and X2 go to two
+// uniformly random players other than player k-1, and every remaining
+// player receives X3. Under a symmetric 3-player distribution the
+// resulting k-player distribution is the η of Theorem 4.15, for which
+// CC^{sim}_k ≥ (k/2)·CC^{→}_3.
+func Embed3ToK(x1, x2, x3 []wire.Edge, k int, rng *rand.Rand) Embedding {
+	if k < 3 {
+		panic(fmt.Sprintf("lowerbound: symmetrization needs k ≥ 3, got %d", k))
+	}
+	i := rng.Intn(k - 1)
+	j := rng.Intn(k - 2)
+	if j >= i {
+		j++
+	}
+	emb := Embedding{I: i, J: j, Inputs: make([][]wire.Edge, k)}
+	for p := 0; p < k; p++ {
+		switch p {
+		case i:
+			emb.Inputs[p] = x1
+		case j:
+			emb.Inputs[p] = x2
+		default:
+			emb.Inputs[p] = x3
+		}
+	}
+	return emb
+}
+
+// SimulateOneWayCost computes the communication a 3-player one-way
+// protocol derived from a k-player simultaneous protocol would use, given
+// the per-player message costs of the simultaneous protocol on the
+// embedded input: Alice and Bob forward players I's and J's messages and
+// Charlie simulates everyone else for free, so the derived cost is
+// bits[I] + bits[J] (the proof's accounting, whose expectation over I,J
+// is (2/k)·CC(Π)).
+func SimulateOneWayCost(perPlayerBits []int64, emb Embedding) int64 {
+	return perPlayerBits[emb.I] + perPlayerBits[emb.J]
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI95 not positive")
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.StdDev != 0 || s.CI95() != 0 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if q := Quantile(xs, 0); q != 10 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 40 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); math.Abs(q-25) > 1e-12 {
+		t.Fatalf("median = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+	// Input must not be mutated.
+	orig := []float64{3, 1, 2}
+	Quantile(orig, 0.5)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestWilson(t *testing.T) {
+	lo, hi := Wilson(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%v,%v] excludes 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("interval too wide: %v", hi-lo)
+	}
+	lo, hi = Wilson(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty trials interval = [%v,%v]", lo, hi)
+	}
+	lo, hi = Wilson(0, 20)
+	if lo != 0 || hi < 0.05 {
+		t.Fatalf("zero successes interval = [%v,%v]", lo, hi)
+	}
+	lo, hi = Wilson(20, 20)
+	if hi != 1 || lo > 0.95 {
+		t.Fatalf("all successes interval = [%v,%v]", lo, hi)
+	}
+}
+
+func TestFitPowerExact(t *testing.T) {
+	// y = 2·x^1.5 exactly.
+	var xs, ys []float64
+	for _, x := range []float64{1, 2, 4, 8, 16, 100} {
+		xs = append(xs, x)
+		ys = append(ys, 2*math.Pow(x, 1.5))
+	}
+	f, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Exponent-1.5) > 1e-9 {
+		t.Fatalf("exponent = %v", f.Exponent)
+	}
+	if math.Abs(f.A()-2) > 1e-9 {
+		t.Fatalf("A = %v", f.A())
+	}
+	if f.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+	if got := f.Predict(9); math.Abs(got-2*27) > 1e-6 {
+		t.Fatalf("Predict(9) = %v", got)
+	}
+}
+
+func TestFitPowerNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for x := 10.0; x <= 1e5; x *= 2 {
+		noise := 1 + 0.1*(rng.Float64()-0.5)
+		xs = append(xs, x)
+		ys = append(ys, 5*math.Pow(x, 0.25)*noise)
+	}
+	f, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Exponent-0.25) > 0.03 {
+		t.Fatalf("exponent = %v, want ~0.25", f.Exponent)
+	}
+	if f.R2 < 0.98 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestFitPowerErrors(t *testing.T) {
+	if _, err := FitPower([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitPower([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := FitPower([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("constant x accepted")
+	}
+	// Non-positive points are skipped; if too few remain, error.
+	if _, err := FitPower([]float64{-1, 0, 5}, []float64{1, 1, 1}); err == nil {
+		t.Fatal("insufficient positive points accepted")
+	}
+	// But skipping still fits when enough remain.
+	f, err := FitPower([]float64{-1, 1, 2, 4}, []float64{9, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Exponent-1) > 1e-9 {
+		t.Fatalf("exponent = %v", f.Exponent)
+	}
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		s := Summarize(xs)
+		if s.N != len(xs) {
+			return false
+		}
+		if s.N > 0 && (s.Mean < s.Min || s.Mean > s.Max) {
+			return false
+		}
+		return s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWilsonMonotoneInTrials(t *testing.T) {
+	// More trials at the same rate narrow the interval.
+	lo1, hi1 := Wilson(10, 20)
+	lo2, hi2 := Wilson(100, 200)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatalf("interval did not narrow: %v vs %v", hi2-lo2, hi1-lo1)
+	}
+}

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta-compressed edge lists. The fixed-width encoding of PutEdgeList
+// costs 2⌈log₂ n⌉ bits per edge regardless of structure; for the dense
+// samples the simultaneous protocols ship, sorted edges have small gaps
+// and compress well under delta + Elias-gamma coding. The codec is
+// self-delimiting and order-insensitive (it sorts), like PutEdgeList.
+//
+// This is an optional optimization: the protocols deliberately use the
+// fixed-width codec so measured costs match the paper's log n-per-id
+// accounting; the delta codec is provided (and benchmarked) for users
+// who want smaller messages rather than comparable ones.
+
+// PutEdgeListDelta appends a length-prefixed, delta-compressed edge list:
+// edges are sorted canonically, each edge's linear index
+// u·n + v (u < v) is delta-encoded against its predecessor with
+// Elias-gamma gaps.
+func (c EdgeCodec) PutEdgeListDelta(w *Writer, edges []Edge) error {
+	n := uint64(c.vc.N())
+	keys := make([]uint64, 0, len(edges))
+	for _, e := range edges {
+		ec := e.Canon()
+		if ec.U < 0 || ec.V >= c.vc.N() {
+			return fmt.Errorf("%w: %v", ErrVertexRange, e)
+		}
+		keys = append(keys, uint64(ec.U)*n+uint64(ec.V))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.WriteUvarint(uint64(len(keys)))
+	prev := uint64(0)
+	for i, k := range keys {
+		gap := k - prev
+		if i > 0 && gap == 0 {
+			return fmt.Errorf("wire: duplicate edge in delta list (key %d)", k)
+		}
+		// First gap may be 0 (edge {0,0} is impossible, so key ≥ 1, but be
+		// safe): encode gap+1 so gamma's v ≥ 1 precondition always holds.
+		w.WriteGamma(gap + 1)
+		prev = k
+	}
+	return nil
+}
+
+// GetEdgeListDelta consumes a list written by PutEdgeListDelta.
+func (c EdgeCodec) GetEdgeListDelta(r *Reader) ([]Edge, error) {
+	n := uint64(c.vc.N())
+	cnt, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each entry costs at least 1 bit (gamma of 1).
+	if cnt > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("%w: delta edge list length %d exceeds message", ErrShortMessage, cnt)
+	}
+	edges := make([]Edge, 0, cnt)
+	prev := uint64(0)
+	for i := uint64(0); i < cnt; i++ {
+		gapPlus1, err := r.ReadGamma()
+		if err != nil {
+			return nil, err
+		}
+		prev += gapPlus1 - 1
+		u := prev / n
+		v := prev % n
+		if u >= n || v >= n || u >= v {
+			return nil, fmt.Errorf("%w: decoded key %d is not a canonical edge", ErrVertexRange, prev)
+		}
+		edges = append(edges, Edge{U: int(u), V: int(v)})
+	}
+	return edges, nil
+}
+
+// DeltaEdgeListBits reports the exact encoded size of PutEdgeListDelta
+// for the given edges without encoding them.
+func (c EdgeCodec) DeltaEdgeListBits(edges []Edge) int {
+	n := uint64(c.vc.N())
+	keys := make([]uint64, 0, len(edges))
+	for _, e := range edges {
+		ec := e.Canon()
+		keys = append(keys, uint64(ec.U)*n+uint64(ec.V))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	bits := UvarintBits(uint64(len(keys)))
+	prev := uint64(0)
+	for _, k := range keys {
+		bits += GammaBits(k - prev + 1)
+		prev = k
+	}
+	return bits
+}

@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaEdgeListRoundTrip(t *testing.T) {
+	ec := NewEdgeCodec(100)
+	edges := []Edge{{U: 5, V: 9}, {U: 0, V: 1}, {U: 50, V: 99}, {U: 5, V: 10}}
+	var w Writer
+	if err := ec.PutEdgeListDelta(&w, edges); err != nil {
+		t.Fatal(err)
+	}
+	if w.BitLen() != ec.DeltaEdgeListBits(edges) {
+		t.Fatalf("BitLen=%d, DeltaEdgeListBits=%d", w.BitLen(), ec.DeltaEdgeListBits(edges))
+	}
+	got, err := ec.GetEdgeListDelta(ReaderFor(&w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Edge{{U: 0, V: 1}, {U: 5, V: 9}, {U: 5, V: 10}, {U: 50, V: 99}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestDeltaEdgeListEmpty(t *testing.T) {
+	ec := NewEdgeCodec(10)
+	var w Writer
+	if err := ec.PutEdgeListDelta(&w, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ec.GetEdgeListDelta(ReaderFor(&w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDeltaEdgeListRejectsDuplicates(t *testing.T) {
+	ec := NewEdgeCodec(10)
+	var w Writer
+	err := ec.PutEdgeListDelta(&w, []Edge{{U: 1, V: 2}, {U: 2, V: 1}})
+	if err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestDeltaEdgeListTruncated(t *testing.T) {
+	ec := NewEdgeCodec(32)
+	var w Writer
+	w.WriteUvarint(1 << 40) // absurd count
+	if _, err := ec.GetEdgeListDelta(ReaderFor(&w)); err == nil {
+		t.Fatal("absurd count accepted")
+	}
+}
+
+func TestDeltaBeatsFixedWidthOnDenseLists(t *testing.T) {
+	// A clustered edge set (small gaps) must compress well below the
+	// fixed-width cost.
+	const n = 1 << 16
+	ec := NewEdgeCodec(n)
+	var edges []Edge
+	for v := 1; v <= 2000; v++ {
+		edges = append(edges, Edge{U: 0, V: v})
+	}
+	fixed := EdgeListBits(n, len(edges))
+	delta := ec.DeltaEdgeListBits(edges)
+	if delta >= fixed/4 {
+		t.Fatalf("delta %d bits not ≪ fixed %d bits", delta, fixed)
+	}
+}
+
+func TestQuickDeltaRoundTrip(t *testing.T) {
+	const n = 512
+	ec := NewEdgeCodec(n)
+	f := func(seed int64, m uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := map[Edge]bool{}
+		for i := 0; i < int(m); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			set[Edge{U: u, V: v}.Canon()] = true
+		}
+		var edges []Edge
+		for e := range set {
+			edges = append(edges, e)
+		}
+		var w Writer
+		if err := ec.PutEdgeListDelta(&w, edges); err != nil {
+			return false
+		}
+		got, err := ec.GetEdgeListDelta(ReaderFor(&w))
+		if err != nil || len(got) != len(edges) {
+			return false
+		}
+		for _, e := range got {
+			if !set[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPutEdgeListFixed(b *testing.B) {
+	const n = 1 << 16
+	ec := NewEdgeCodec(n)
+	rng := rand.New(rand.NewSource(1))
+	edges := make([]Edge, 1000)
+	for i := range edges {
+		edges[i] = Edge{U: rng.Intn(n), V: rng.Intn(n - 1)}
+		if edges[i].U == edges[i].V {
+			edges[i].V++
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var w Writer
+		if err := ec.PutEdgeList(&w, edges); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(w.BitLen()), "bits")
+	}
+}
+
+func BenchmarkPutEdgeListDelta(b *testing.B) {
+	const n = 1 << 16
+	ec := NewEdgeCodec(n)
+	rng := rand.New(rand.NewSource(1))
+	set := map[Edge]bool{}
+	for len(set) < 1000 {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			set[Edge{U: u, V: v}.Canon()] = true
+		}
+	}
+	var edges []Edge
+	for e := range set {
+		edges = append(edges, e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var w Writer
+		if err := ec.PutEdgeListDelta(&w, edges); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(w.BitLen()), "bits")
+	}
+}

@@ -1,0 +1,290 @@
+// Package tricomm is a library for testing triangle-freeness of a graph
+// whose edges are partitioned among k players in the number-in-hand
+// multiparty communication model, implementing the protocols of
+//
+//	Fischer, Gershtein, Oshman: "On the Multiparty Communication
+//	Complexity of Testing Triangle-Freeness", PODC 2017
+//	(arXiv:1705.08438).
+//
+// The package offers a small, stable facade over the internal machinery:
+//
+//   - construct or generate a graph (NewBuilder, RandomGraph, FarGraph,
+//     BipartiteGraph);
+//   - split it among players (Split) or assemble a Cluster from inputs you
+//     already hold (NewCluster);
+//   - run a tester (Cluster.Test) in the coordinator, blackboard, or
+//     simultaneous model, with bit-exact communication accounting.
+//
+// All testers have one-sided error: a Report with a witness triangle is
+// always correct; a "triangle-free" verdict errs with small probability
+// only when the graph is ε-far from triangle-free.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-reproduction results; the experiment harness behind them is
+// runnable via cmd/benchtable.
+package tricomm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"tricomm/internal/comm"
+	"tricomm/internal/graph"
+	"tricomm/internal/partition"
+	"tricomm/internal/protocol"
+	"tricomm/internal/wire"
+	"tricomm/internal/xrand"
+)
+
+// Edge is an undirected edge between vertex ids in [0, n).
+type Edge = wire.Edge
+
+// Triangle is a vertex triple forming a triangle (canonical order A<B<C).
+type Triangle = graph.Triangle
+
+// Graph is an immutable simple undirected graph.
+type Graph = graph.Graph
+
+// Builder accumulates edges into a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n vertices from an edge list.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// RandomGraph samples an Erdős–Rényi graph with expected average degree d.
+func RandomGraph(n int, d float64, seed int64) *Graph {
+	return graph.RandomAvgDegree(n, d, rand.New(rand.NewSource(seed)))
+}
+
+// BipartiteGraph samples a triangle-free bipartite random graph on n
+// vertices with expected average degree d.
+func BipartiteGraph(n int, d float64, seed int64) *Graph {
+	return graph.BipartiteAvgDegree(n, d, rand.New(rand.NewSource(seed)))
+}
+
+// FarGraph samples a graph on n vertices with average degree ≈ d that is
+// certifiably eps-far from triangle-free (eps ≤ 1/3). The second return
+// value is the certified farness (≥ eps).
+func FarGraph(n int, d, eps float64, seed int64) (*Graph, float64) {
+	fg := graph.FarWithDegree(graph.FarParams{N: n, D: d, Eps: eps},
+		rand.New(rand.NewSource(seed)))
+	return fg.G, fg.CertEps
+}
+
+// SplitScheme selects how a graph's edges are divided among players.
+type SplitScheme int
+
+// Split schemes.
+const (
+	// SplitDisjoint assigns each edge to one uniformly random player.
+	SplitDisjoint SplitScheme = iota + 1
+	// SplitDuplicate assigns each edge one random holder and replicates it
+	// to every other player with probability 1/2 (the duplication-heavy
+	// regime the paper's primitives are designed for).
+	SplitDuplicate
+	// SplitByVertex routes all edges with the same lower endpoint to the
+	// same player (locality-skewed).
+	SplitByVertex
+	// SplitAll gives every player the entire edge set.
+	SplitAll
+)
+
+func (s SplitScheme) partitioner() (partition.Partitioner, error) {
+	switch s {
+	case SplitDisjoint:
+		return partition.Disjoint{}, nil
+	case SplitDuplicate:
+		return partition.Duplicate{Q: 0.5}, nil
+	case SplitByVertex:
+		return partition.ByVertex{}, nil
+	case SplitAll:
+		return partition.All{}, nil
+	default:
+		return nil, fmt.Errorf("tricomm: unknown split scheme %d", int(s))
+	}
+}
+
+// Cluster is k players holding shares of an n-vertex graph plus the
+// shared randomness — everything needed to run a protocol.
+type Cluster struct {
+	n      int
+	inputs [][]Edge
+	shared *xrand.Shared
+}
+
+// NewCluster assembles a cluster from explicit per-player edge sets over
+// the vertex universe [0, n). The protocol-level guarantee is about the
+// union of the inputs.
+func NewCluster(n int, inputs [][]Edge, seed uint64) (*Cluster, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("tricomm: negative vertex count %d", n)
+	}
+	if len(inputs) == 0 {
+		return nil, errors.New("tricomm: a cluster needs at least one player")
+	}
+	for j, in := range inputs {
+		for _, e := range in {
+			if e.U < 0 || e.V < 0 || e.U >= n || e.V >= n {
+				return nil, fmt.Errorf("tricomm: player %d edge %v out of range [0,%d)", j, e, n)
+			}
+		}
+	}
+	return &Cluster{n: n, inputs: inputs, shared: xrand.New(seed)}, nil
+}
+
+// Split divides g's edges among k players under the given scheme.
+func Split(g *Graph, k int, scheme SplitScheme, seed uint64) (*Cluster, error) {
+	pt, err := scheme.partitioner()
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("tricomm: need at least one player, got %d", k)
+	}
+	shared := xrand.New(seed)
+	p := pt.Split(g, k, shared)
+	return &Cluster{n: g.N(), inputs: p.Inputs, shared: shared}, nil
+}
+
+// K reports the number of players.
+func (c *Cluster) K() int { return len(c.inputs) }
+
+// N reports the vertex universe size.
+func (c *Cluster) N() int { return c.n }
+
+// Union materializes the union graph ⋃_j E_j (for inspection; protocols
+// never use it).
+func (c *Cluster) Union() *Graph {
+	b := graph.NewBuilder(c.n)
+	for _, in := range c.inputs {
+		for _, e := range in {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	return b.Build()
+}
+
+// Protocol selects the tester run by Cluster.Test.
+type Protocol int
+
+// Available protocols.
+const (
+	// Auto picks SimOblivious — the one-round protocol that needs no
+	// knowledge of the average degree.
+	Auto Protocol = iota
+	// Interactive is the unrestricted coordinator-model tester,
+	// Õ(k·(nd)^{1/4} + k²) bits (§3.3).
+	Interactive
+	// InteractiveBlackboard is its blackboard-model variant (Thm 3.23).
+	InteractiveBlackboard
+	// SimultaneousLow is the one-round tester for d = O(√n), Õ(k√n) bits.
+	SimultaneousLow
+	// SimultaneousHigh is the one-round tester for d = Ω(√n),
+	// Õ(k·(nd)^{1/3}) bits.
+	SimultaneousHigh
+	// SimultaneousOblivious is the one-round degree-oblivious tester
+	// (Alg 11).
+	SimultaneousOblivious
+	// Exact is the deterministic send-everything baseline (Θ(k·nd·log n)).
+	Exact
+)
+
+// Options configures a test run.
+type Options struct {
+	// Protocol selects the tester; Auto uses SimultaneousOblivious.
+	Protocol Protocol
+	// Eps is the farness parameter the tester targets (default 0.1).
+	Eps float64
+	// AvgDegree, if positive, is the known average degree of the union
+	// graph (required by SimultaneousLow/High; optional for Interactive).
+	AvgDegree float64
+	// Delta is the error target for cap sizing (default 0.1).
+	Delta float64
+	// AssumeDisjoint declares that the players' inputs are pairwise
+	// disjoint (no edge duplication), letting the Interactive protocol use
+	// the cheaper deterministic degree estimation of Lemma 3.2.
+	AssumeDisjoint bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps <= 0 {
+		o.Eps = 0.1
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.1
+	}
+	return o
+}
+
+// Report is the outcome of a test run.
+type Report struct {
+	// TriangleFree is the verdict (one-sided: false means Witness is a
+	// genuine triangle of the union graph).
+	TriangleFree bool
+	// Witness is the exhibited triangle when TriangleFree is false.
+	Witness Triangle
+	// Bits is the total communication used.
+	Bits int64
+	// PerPlayerBits is the per-player channel traffic.
+	PerPlayerBits []int64
+	// Rounds is the number of protocol rounds.
+	Rounds int64
+	// Protocol names the tester that ran.
+	Protocol string
+}
+
+// Test runs the selected triangle-freeness tester over the cluster.
+func (c *Cluster) Test(ctx context.Context, opts Options) (Report, error) {
+	opts = opts.withDefaults()
+	cfg := comm.Config{N: c.n, Inputs: c.inputs, Shared: c.shared}
+	var (
+		res protocol.Result
+		err error
+	)
+	name := ""
+	switch opts.Protocol {
+	case Interactive:
+		p := protocol.Unrestricted{Eps: opts.Eps, AvgDegree: opts.AvgDegree,
+			AssumeDisjoint: opts.AssumeDisjoint}
+		name = p.Name()
+		res, err = p.Run(ctx, cfg)
+	case InteractiveBlackboard:
+		p := protocol.UnrestrictedBlackboard{Eps: opts.Eps, AvgDegree: opts.AvgDegree}
+		name = p.Name()
+		res, err = p.Run(ctx, cfg)
+	case SimultaneousLow:
+		p := protocol.SimLow{Eps: opts.Eps, AvgDegree: opts.AvgDegree, Delta: opts.Delta}
+		name = p.Name()
+		res, err = p.Run(ctx, cfg)
+	case SimultaneousHigh:
+		p := protocol.SimHigh{Eps: opts.Eps, AvgDegree: opts.AvgDegree, Delta: opts.Delta}
+		name = p.Name()
+		res, err = p.Run(ctx, cfg)
+	case Auto, SimultaneousOblivious:
+		p := protocol.SimOblivious{Eps: opts.Eps, Delta: opts.Delta}
+		name = p.Name()
+		res, err = p.Run(ctx, cfg)
+	case Exact:
+		p := protocol.ExactBaseline{}
+		name = p.Name()
+		res, err = p.Run(ctx, cfg)
+	default:
+		return Report{}, fmt.Errorf("tricomm: unknown protocol %d", int(opts.Protocol))
+	}
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		TriangleFree:  !res.Found(),
+		Witness:       res.Triangle,
+		Bits:          res.Stats.TotalBits,
+		PerPlayerBits: res.Stats.PerPlayer,
+		Rounds:        res.Stats.Rounds,
+		Protocol:      name,
+	}, nil
+}
