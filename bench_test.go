@@ -312,6 +312,50 @@ func BenchmarkAblation_NoDup(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionReuse measures the engine's cached-view win: repeated
+// Test calls against one cluster through a Session (views built once)
+// versus the pre-engine path that rebuilds every player view per call
+// (protocol.Run over a throwaway comm.Config). Protocol work and
+// communication are identical in both arms; the gap is pure view
+// construction.
+func BenchmarkSessionReuse(b *testing.B) {
+	const n, d, k = 16384, 8.0, 8
+	g, _ := FarGraph(n, d, 0.2, 3)
+	opts := Options{Protocol: SimultaneousLow, Eps: 0.2, AvgDegree: d}
+	ctx := context.Background()
+
+	b.Run("cached-views", func(b *testing.B) {
+		cluster, err := Split(g, k, SplitDisjoint, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := cluster.Session(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Test(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild-views", func(b *testing.B) {
+		cluster, err := Split(g, k, SplitDisjoint, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := protocol.SimLow{Eps: 0.2, AvgDegree: d, Delta: 0.1}
+		cfg := comm.Config{N: cluster.N(), Inputs: cluster.inputs, Shared: cluster.shared}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(ctx, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkStreaming_Probe measures the §4.2.2 corollary: success of the
 // space-bounded streaming detector at the n^{1/4} space scale.
 func BenchmarkStreaming_Probe(b *testing.B) {

@@ -59,14 +59,32 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		oneRound, err := cluster.Test(ctx, tricomm.Options{
+		// The one-round audit runs as a Session: the per-datacenter views
+		// are built once and reused, so amplifying the one-sided success
+		// probability with independent repetitions costs only communication.
+		session, err := cluster.Session(tricomm.Options{
 			Protocol: tricomm.SimultaneousOblivious, Eps: eps,
 		})
 		if err != nil {
 			return err
 		}
+		oneRound, err := session.Test(ctx)
+		if err != nil {
+			return err
+		}
+		// The printed column is the audit's total spend: up to 3 one-round
+		// repetitions when the early ones come back triangle-free.
+		oneRoundBits := oneRound.Bits
+		for rep := 1; oneRound.TriangleFree && rep < 3; rep++ {
+			retry, err := session.TestWithSeed(ctx, fmt.Sprintf("audit/%d", rep))
+			if err != nil {
+				return err
+			}
+			oneRoundBits += retry.Bits
+			oneRound = retry
+		}
 		fmt.Printf("%-10.0f %-8s %14d %14d %14d\n",
-			d, regime, exact.Bits, inter.Bits, oneRound.Bits)
+			d, regime, exact.Bits, inter.Bits, oneRoundBits)
 		if !exact.TriangleFree && oneRound.TriangleFree {
 			fmt.Printf("  (one-round tester missed on this seed — one-sided error, rerun with a fresh seed)\n")
 		}

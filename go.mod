@@ -1,0 +1,3 @@
+module tricomm
+
+go 1.24

@@ -1,93 +1,35 @@
 package comm
 
 import (
-	"errors"
-	"fmt"
-
-	"tricomm/internal/graph"
+	"tricomm/internal/comm/engine"
 )
 
 // Board is the blackboard model: every posted message is visible to all
 // parties and its bits are charged exactly once, regardless of audience
-// size. Execution is synchronous — protocol code schedules the players'
-// turns itself — which matches the model's "message by any player is seen
-// by everyone" semantics without per-recipient cost.
-type Board struct {
-	k     int
-	meter *Meter
-	posts []Post
-}
+// size. Coordinator posts are tracked on a dedicated counter
+// (Stats.CoordinatorBits) rather than any player's channel.
+type Board = engine.Board
 
 // Post is one blackboard entry.
-type Post struct {
-	// From is the posting player, or Coordinator (-1).
-	From int
-	// Msg is the posted message.
-	Msg Msg
-}
+type Post = engine.Post
 
 // CoordinatorID is the From value for coordinator posts.
-const CoordinatorID = -1
+const CoordinatorID = engine.CoordinatorID
 
 // NewBoard returns an empty blackboard for k players.
-func NewBoard(k int) *Board {
-	if k < 1 {
-		panic(fmt.Sprintf("comm: blackboard needs at least one player, got %d", k))
-	}
-	return &Board{k: k, meter: newMeter(k)}
-}
-
-// Post appends a message from the given player (or CoordinatorID). The
-// message bits are charged once.
-func (b *Board) Post(from int, m Msg) error {
-	if from != CoordinatorID && (from < 0 || from >= b.k) {
-		return fmt.Errorf("comm: blackboard post from invalid player %d", from)
-	}
-	if from == CoordinatorID {
-		b.meter.addDown(0, m.Bits())
-	} else {
-		b.meter.addUp(from, m.Bits())
-	}
-	b.posts = append(b.posts, Post{From: from, Msg: m})
-	return nil
-}
-
-// Posts returns the transcript so far. The slice is shared; do not modify.
-func (b *Board) Posts() []Post { return b.posts }
-
-// Round declares a protocol round for accounting.
-func (b *Board) Round() { b.meter.addRound() }
-
-// Stats snapshots the communication cost so far.
-func (b *Board) Stats() Stats { return b.meter.Snapshot() }
+func NewBoard(k int) *Board { return engine.NewBoard(k) }
 
 // BoardPlayers materializes the players' local views for a blackboard
-// protocol run.
-func BoardPlayers(cfg Config) ([]*SimPlayer, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	players := make([]*SimPlayer, cfg.K())
-	for j := range players {
-		players[j] = &SimPlayer{
-			ID:     j,
-			K:      cfg.K(),
-			N:      cfg.N,
-			Edges:  cfg.Inputs[j],
-			View:   graph.FromEdges(cfg.N, cfg.Inputs[j]),
-			Shared: cfg.Shared,
-		}
-	}
-	return players, nil
-}
+// protocol run over a throwaway topology built from cfg; see
+// BoardPlayersOn for the reusable-topology form.
+func BoardPlayers(cfg Config) ([]*SimPlayer, error) { return engine.BoardPlayers(cfg) }
+
+// BoardPlayersOn materializes the players' local views over the topology's
+// cache.
+func BoardPlayersOn(top *Topology) []*SimPlayer { return engine.BoardPlayersOn(top) }
 
 // OneWayResult carries the transcript of a 3-player one-way run.
-type OneWayResult struct {
-	// AliceMsg and BobMsg form the transcript Charlie observes.
-	AliceMsg, BobMsg Msg
-	// Stats is the communication cost (Charlie's output is free).
-	Stats Stats
-}
+type OneWayResult = engine.OneWayResult
 
 // RunOneWay executes the 3-player "extended one-way" model of §4.2.2:
 // Alice speaks from her input, Bob speaks after seeing Alice's message,
@@ -99,34 +41,16 @@ func RunOneWay(
 	bob func(p *SimPlayer, aliceMsg Msg) (Msg, error),
 	charlie func(p *SimPlayer, aliceMsg, bobMsg Msg) error,
 ) (OneWayResult, error) {
-	if err := cfg.validate(); err != nil {
-		return OneWayResult{}, err
-	}
-	if cfg.K() != 3 {
-		return OneWayResult{}, errors.New("comm: one-way model requires exactly 3 players")
-	}
-	players, err := BoardPlayers(cfg)
-	if err != nil {
-		return OneWayResult{}, err
-	}
-	meter := newMeter(3)
+	return engine.RunOneWay(cfg, alice, bob, charlie)
+}
 
-	am, err := alice(players[0])
-	if err != nil {
-		return OneWayResult{}, fmt.Errorf("alice: %w", err)
-	}
-	meter.addUp(0, am.Bits())
-	meter.addRound()
-
-	bm, err := bob(players[1], am)
-	if err != nil {
-		return OneWayResult{}, fmt.Errorf("bob: %w", err)
-	}
-	meter.addUp(1, bm.Bits())
-	meter.addRound()
-
-	if err := charlie(players[2], am, bm); err != nil {
-		return OneWayResult{}, fmt.Errorf("charlie: %w", err)
-	}
-	return OneWayResult{AliceMsg: am, BobMsg: bm, Stats: meter.Snapshot()}, nil
+// RunOneWayOn is RunOneWay over a reusable topology (which must have
+// exactly three players).
+func RunOneWayOn(
+	top *Topology,
+	alice func(p *SimPlayer) (Msg, error),
+	bob func(p *SimPlayer, aliceMsg Msg) (Msg, error),
+	charlie func(p *SimPlayer, aliceMsg, bobMsg Msg) error,
+) (OneWayResult, error) {
+	return engine.RunOneWayOn(top, alice, bob, charlie)
 }

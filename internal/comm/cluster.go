@@ -2,11 +2,8 @@ package comm
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"sync"
 
-	"tricomm/internal/graph"
+	"tricomm/internal/comm/engine"
 	"tricomm/internal/wire"
 	"tricomm/internal/xrand"
 )
@@ -16,310 +13,73 @@ var (
 	// ErrShutdown is returned from Player.Recv when the coordinator has
 	// finished and the cluster is shutting down gracefully. Player loops
 	// should treat it as a normal exit.
-	ErrShutdown = errors.New("comm: cluster shut down")
+	ErrShutdown = engine.ErrShutdown
 	// ErrCanceled is returned when the run context is canceled.
-	ErrCanceled = errors.New("comm: run canceled")
+	ErrCanceled = engine.ErrCanceled
 	// ErrPlayerDone is returned from Coordinator.Recv when the player has
 	// terminated (usually with an error of its own, which Run reports).
-	ErrPlayerDone = errors.New("comm: player terminated")
+	ErrPlayerDone = engine.ErrPlayerDone
 )
 
 // Config describes a protocol instance: the vertex universe, the players'
 // private inputs, and the shared randomness.
-type Config struct {
-	// N is the number of vertices of the underlying graph.
-	N int
-	// Inputs[j] is player j's private edge set. len(Inputs) is k.
-	Inputs [][]wire.Edge
-	// Shared is the public random string all parties can read.
-	Shared *xrand.Shared
-}
+type Config = engine.Config
 
-// K reports the number of players.
-func (c Config) K() int { return len(c.Inputs) }
+// Topology is the reusable per-cluster state: inputs, shared randomness,
+// and the cached per-player views. Build one with NewTopology (or
+// Config.Topology) and pass it to the *On run entry points to amortize
+// view construction across many protocol runs.
+type Topology = engine.Topology
 
-func (c Config) validate() error {
-	if c.N < 0 {
-		return fmt.Errorf("comm: negative vertex count %d", c.N)
-	}
-	if len(c.Inputs) == 0 {
-		return errors.New("comm: no players")
-	}
-	if c.Shared == nil {
-		return errors.New("comm: nil shared randomness")
-	}
-	return nil
+// NewTopology validates the instance and returns a topology with an empty
+// view cache.
+func NewTopology(n int, inputs [][]wire.Edge, shared *xrand.Shared) (*Topology, error) {
+	return engine.NewTopology(n, inputs, shared)
 }
 
 // Player is a player's endpoint in the coordinator model: its identity,
 // private input, the shared randomness, and its private channel to the
 // coordinator. A Player is used only from its own goroutine.
-type Player struct {
-	// ID is the player index in [0, K).
-	ID int
-	// K is the number of players.
-	K int
-	// N is the vertex universe size.
-	N int
-	// Edges is the player's private input E_j.
-	Edges []wire.Edge
-	// View is the player's local graph (V, E_j).
-	View *graph.Graph
-	// Shared is the public randomness (identical on all parties).
-	Shared *xrand.Shared
-
-	in   <-chan Msg
-	out  chan<- Msg
-	done <-chan struct{}
-}
-
-// Recv blocks for the next coordinator message. It returns ErrShutdown if
-// the coordinator has finished, or the context error if ctx is canceled.
-func (p *Player) Recv(ctx context.Context) (Msg, error) {
-	select {
-	case m, ok := <-p.in:
-		if !ok {
-			return Msg{}, ErrShutdown
-		}
-		return m, nil
-	case <-p.done:
-		// Drain-race: a message may already be in flight.
-		select {
-		case m, ok := <-p.in:
-			if !ok {
-				return Msg{}, ErrShutdown
-			}
-			return m, nil
-		default:
-			return Msg{}, ErrShutdown
-		}
-	case <-ctx.Done():
-		return Msg{}, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
-	}
-}
-
-// Send transmits a message to the coordinator. It returns ErrShutdown if
-// the coordinator has already finished (the message is then dropped).
-// Upstream bits are metered on the coordinator's receive side so that
-// Coordinator.Stats, read from the coordinator goroutine, is always
-// consistent with the messages it has observed.
-func (p *Player) Send(ctx context.Context, m Msg) error {
-	select {
-	case p.out <- m:
-		return nil
-	case <-p.done:
-		return ErrShutdown
-	case <-ctx.Done():
-		return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
-	}
-}
+type Player = engine.Player
 
 // PlayerFunc is the code run by each player goroutine.
-type PlayerFunc func(ctx context.Context, p *Player) error
+type PlayerFunc = engine.PlayerFunc
 
 // Coordinator is the coordinator's endpoint: private channels to every
-// player plus the shared randomness. It is used from the coordinator
+// player plus the shared randomness. Broadcast, Gather, and AskAll fan out
+// concurrently; single-message Send/Recv are used from the coordinator
 // goroutine only.
-type Coordinator struct {
-	// K is the number of players.
-	K int
-	// N is the vertex universe size.
-	N int
-	// Shared is the public randomness.
-	Shared *xrand.Shared
-
-	to    []chan<- Msg
-	from  []<-chan Msg
-	pdone []<-chan struct{} // closed when the player goroutine exits
-	meter *Meter
-}
-
-// Send transmits a message to player j. It returns ErrPlayerDone if the
-// player goroutine has already exited.
-func (c *Coordinator) Send(ctx context.Context, j int, m Msg) error {
-	select {
-	case c.to[j] <- m:
-		c.meter.addDown(j, m.Bits())
-		return nil
-	case <-c.pdone[j]:
-		return fmt.Errorf("%w: player %d", ErrPlayerDone, j)
-	case <-ctx.Done():
-		return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
-	}
-}
-
-// Recv blocks for the next message from player j. It returns
-// ErrPlayerDone if the player goroutine has exited (Run then surfaces the
-// player's own error).
-func (c *Coordinator) Recv(ctx context.Context, j int) (Msg, error) {
-	select {
-	case m, ok := <-c.from[j]:
-		if !ok {
-			return Msg{}, fmt.Errorf("%w: player %d", ErrPlayerDone, j)
-		}
-		c.meter.addUp(j, m.Bits())
-		return m, nil
-	case <-ctx.Done():
-		return Msg{}, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
-	}
-}
-
-// Broadcast sends m to every player. In the coordinator model a broadcast
-// is k unicasts and is charged k·|m| bits.
-func (c *Coordinator) Broadcast(ctx context.Context, m Msg) error {
-	for j := 0; j < c.K; j++ {
-		if err := c.Send(ctx, j, m); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Gather receives one message from every player, in player order.
-func (c *Coordinator) Gather(ctx context.Context) ([]Msg, error) {
-	msgs := make([]Msg, c.K)
-	for j := 0; j < c.K; j++ {
-		m, err := c.Recv(ctx, j)
-		if err != nil {
-			return nil, err
-		}
-		msgs[j] = m
-	}
-	return msgs, nil
-}
-
-// Ask sends m to player j and waits for the reply — one coordinator-model
-// round with a single player.
-func (c *Coordinator) Ask(ctx context.Context, j int, m Msg) (Msg, error) {
-	if err := c.Send(ctx, j, m); err != nil {
-		return Msg{}, err
-	}
-	return c.Recv(ctx, j)
-}
-
-// AskAll sends m to every player and gathers all replies, counting one
-// round.
-func (c *Coordinator) AskAll(ctx context.Context, m Msg) ([]Msg, error) {
-	c.Round()
-	if err := c.Broadcast(ctx, m); err != nil {
-		return nil, err
-	}
-	return c.Gather(ctx)
-}
-
-// Round declares the start of a new protocol round (for accounting only).
-func (c *Coordinator) Round() { c.meter.addRound() }
-
-// Stats snapshots the communication cost so far; protocols use it to
-// attribute bits to phases.
-func (c *Coordinator) Stats() Stats { return c.meter.Snapshot() }
+type Coordinator = engine.Coordinator
 
 // CoordinatorFunc is the coordinator's protocol code. When it returns, the
 // cluster shuts down: players blocked in Recv observe ErrShutdown.
-type CoordinatorFunc func(ctx context.Context, c *Coordinator) error
+type CoordinatorFunc = engine.CoordinatorFunc
 
-// Run executes one protocol in the coordinator model: it spawns one
-// goroutine per player running player, executes coord in the calling
-// goroutine, then shuts the players down and waits for them. The first
-// non-shutdown error from any party is returned alongside the cost
-// snapshot.
-func Run(ctx context.Context, cfg Config, coord CoordinatorFunc, player PlayerFunc) (Stats, error) {
-	if err := cfg.validate(); err != nil {
-		return Stats{}, err
-	}
-	k := cfg.K()
-	meter := newMeter(k)
-	done := make(chan struct{})
+// RunOption tweaks a run's execution strategy (never its accounting).
+type RunOption = engine.RunOption
 
-	toPlayer := make([]chan Msg, k)
-	toCoord := make([]chan Msg, k)
-	for j := 0; j < k; j++ {
-		toPlayer[j] = make(chan Msg)
-		toCoord[j] = make(chan Msg)
-	}
+// SequentialFanout serializes Broadcast/Gather unicasts in player order,
+// as the pre-engine runtime did; for regression tests and benchmarks.
+func SequentialFanout() RunOption { return engine.SequentialFanout() }
 
-	pdone := make([]chan struct{}, k)
-	c := &Coordinator{
-		K:      k,
-		N:      cfg.N,
-		Shared: cfg.Shared,
-		to:     make([]chan<- Msg, k),
-		from:   make([]<-chan Msg, k),
-		pdone:  make([]<-chan struct{}, k),
-		meter:  meter,
-	}
-	for j := 0; j < k; j++ {
-		c.to[j] = toPlayer[j]
-		c.from[j] = toCoord[j]
-		pdone[j] = make(chan struct{})
-		c.pdone[j] = pdone[j]
-	}
+// Run executes one protocol in the coordinator model over a throwaway
+// topology built from cfg; see RunOn for the reusable-topology form.
+func Run(ctx context.Context, cfg Config, coord CoordinatorFunc, player PlayerFunc, opts ...RunOption) (Stats, error) {
+	return engine.Run(ctx, cfg, coord, player, opts...)
+}
 
-	errs := make(chan error, k)
-	var wg sync.WaitGroup
-	for j := 0; j < k; j++ {
-		p := &Player{
-			ID:     j,
-			K:      k,
-			N:      cfg.N,
-			Edges:  cfg.Inputs[j],
-			View:   graph.FromEdges(cfg.N, cfg.Inputs[j]),
-			Shared: cfg.Shared,
-			in:     toPlayer[j],
-			out:    toCoord[j],
-			done:   done,
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Closing these channels unblocks a coordinator waiting in
-			// Recv on, or Send to, a player that has terminated.
-			defer close(toCoord[p.ID])
-			defer close(pdone[p.ID])
-			if err := player(ctx, p); err != nil && !errors.Is(err, ErrShutdown) {
-				errs <- fmt.Errorf("player %d: %w", p.ID, err)
-			}
-		}()
-	}
-
-	coordErr := coord(ctx, c)
-	close(done)
-	wg.Wait()
-	close(errs)
-
-	// Player errors take precedence: a coordinator error of "player
-	// terminated" is a symptom, the player's own failure is the cause.
-	for err := range errs {
-		if err != nil {
-			return meter.Snapshot(), err
-		}
-	}
-	if coordErr != nil {
-		return meter.Snapshot(), fmt.Errorf("coordinator: %w", coordErr)
-	}
-	return meter.Snapshot(), nil
+// RunOn executes one protocol in the coordinator model over top, reusing
+// its cached player views: it spawns one goroutine per player running
+// player, executes coord in the calling goroutine, then shuts the players
+// down and waits for them. The first non-shutdown error from any party is
+// returned alongside the cost snapshot.
+func RunOn(ctx context.Context, top *Topology, coord CoordinatorFunc, player PlayerFunc, opts ...RunOption) (Stats, error) {
+	return engine.RunOn(ctx, top, coord, player, opts...)
 }
 
 // ServeLoop is a convenience player main loop: it calls handle for every
 // coordinator message and sends back the reply, exiting cleanly on
 // shutdown. Most request/reply protocols use it directly.
 func ServeLoop(handle func(p *Player, req Msg) (Msg, error)) PlayerFunc {
-	return func(ctx context.Context, p *Player) error {
-		for {
-			req, err := p.Recv(ctx)
-			if err != nil {
-				if errors.Is(err, ErrShutdown) {
-					return nil
-				}
-				return err
-			}
-			reply, err := handle(p, req)
-			if err != nil {
-				return err
-			}
-			if err := p.Send(ctx, reply); err != nil {
-				return err
-			}
-		}
-	}
+	return engine.ServeLoop(handle)
 }

@@ -169,12 +169,20 @@ func TestRunPlayerBlockedInSendShutsDown(t *testing.T) {
 				return nil
 			},
 			func(ctx context.Context, p *Player) error {
-				// Send unsolicited; coordinator never receives.
-				err := p.Send(ctx, Ack())
-				if !errors.Is(err, ErrShutdown) {
-					return fmt.Errorf("expected shutdown, got %v", err)
+				// Send unsolicited; the coordinator never receives. The first
+				// send may land in the channel buffer; keep sending until the
+				// buffer is full and the send truly blocks — shutdown must
+				// still unblock it.
+				for {
+					err := p.Send(ctx, Ack())
+					if err == nil {
+						continue
+					}
+					if !errors.Is(err, ErrShutdown) {
+						return fmt.Errorf("expected shutdown, got %v", err)
+					}
+					return nil
 				}
-				return nil
 			})
 		if err != nil {
 			t.Errorf("Run: %v", err)

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Board is the blackboard model: every posted message is visible to all
+// parties and its bits are charged exactly once, regardless of audience
+// size. Execution is synchronous — protocol code schedules the players'
+// turns itself — which matches the model's "message by any player is seen
+// by everyone" semantics without per-recipient cost.
+type Board struct {
+	k     int
+	meter *Meter
+	posts []Post
+}
+
+// Post is one blackboard entry.
+type Post struct {
+	// From is the posting player, or Coordinator (-1).
+	From int
+	// Msg is the posted message.
+	Msg Msg
+}
+
+// CoordinatorID is the From value for coordinator posts.
+const CoordinatorID = -1
+
+// NewBoard returns an empty blackboard for k players.
+func NewBoard(k int) *Board {
+	if k < 1 {
+		panic(fmt.Sprintf("comm: blackboard needs at least one player, got %d", k))
+	}
+	return &Board{k: k, meter: NewMeter(k)}
+}
+
+// Post appends a message from the given player (or CoordinatorID). The
+// message bits are charged once: player posts on the player's channel,
+// coordinator posts on the meter's dedicated coordinator counter, so board
+// traffic is never misattributed to player 0.
+func (b *Board) Post(from int, m Msg) error {
+	if from != CoordinatorID && (from < 0 || from >= b.k) {
+		return fmt.Errorf("comm: blackboard post from invalid player %d", from)
+	}
+	if from == CoordinatorID {
+		b.meter.AddCoordinator(m.Bits())
+	} else {
+		b.meter.AddUp(from, m.Bits())
+	}
+	b.posts = append(b.posts, Post{From: from, Msg: m})
+	return nil
+}
+
+// Posts returns the transcript so far. The slice is shared; do not modify.
+func (b *Board) Posts() []Post { return b.posts }
+
+// Round declares a protocol round for accounting.
+func (b *Board) Round() { b.meter.AddRound() }
+
+// BeginPhase attributes subsequent posts to the named phase.
+func (b *Board) BeginPhase(name string) { b.meter.BeginPhase(name) }
+
+// Stats snapshots the communication cost so far.
+func (b *Board) Stats() Stats { return b.meter.Snapshot() }
+
+// BoardPlayers materializes the players' local views for a blackboard
+// protocol run over a throwaway topology built from cfg.
+func BoardPlayers(cfg Config) ([]*SimPlayer, error) {
+	top, err := cfg.Topology()
+	if err != nil {
+		return nil, err
+	}
+	return BoardPlayersOn(top), nil
+}
+
+// BoardPlayersOn materializes the players' local views over the topology's
+// cache.
+func BoardPlayersOn(top *Topology) []*SimPlayer { return simPlayers(top) }
+
+// OneWayResult carries the transcript of a 3-player one-way run.
+type OneWayResult struct {
+	// AliceMsg and BobMsg form the transcript Charlie observes.
+	AliceMsg, BobMsg Msg
+	// Stats is the communication cost (Charlie's output is free).
+	Stats Stats
+}
+
+// RunOneWay executes the 3-player "extended one-way" model of §4.2.2 over
+// a throwaway topology built from cfg.
+func RunOneWay(
+	cfg Config,
+	alice func(p *SimPlayer) (Msg, error),
+	bob func(p *SimPlayer, aliceMsg Msg) (Msg, error),
+	charlie func(p *SimPlayer, aliceMsg, bobMsg Msg) error,
+) (OneWayResult, error) {
+	top, err := cfg.Topology()
+	if err != nil {
+		return OneWayResult{}, err
+	}
+	return RunOneWayOn(top, alice, bob, charlie)
+}
+
+// RunOneWayOn executes the 3-player "extended one-way" model of §4.2.2:
+// Alice speaks from her input, Bob speaks after seeing Alice's message,
+// and Charlie — who observes the whole transcript — computes the output.
+// top must have exactly three players (Alice = 0, Bob = 1, Charlie = 2).
+func RunOneWayOn(
+	top *Topology,
+	alice func(p *SimPlayer) (Msg, error),
+	bob func(p *SimPlayer, aliceMsg Msg) (Msg, error),
+	charlie func(p *SimPlayer, aliceMsg, bobMsg Msg) error,
+) (OneWayResult, error) {
+	if top.K() != 3 {
+		return OneWayResult{}, errors.New("comm: one-way model requires exactly 3 players")
+	}
+	players := simPlayers(top)
+	meter := NewMeter(3)
+
+	am, err := alice(players[0])
+	if err != nil {
+		return OneWayResult{}, fmt.Errorf("alice: %w", err)
+	}
+	meter.AddUp(0, am.Bits())
+	meter.AddRound()
+
+	bm, err := bob(players[1], am)
+	if err != nil {
+		return OneWayResult{}, fmt.Errorf("bob: %w", err)
+	}
+	meter.AddUp(1, bm.Bits())
+	meter.AddRound()
+
+	if err := charlie(players[2], am, bm); err != nil {
+		return OneWayResult{}, fmt.Errorf("charlie: %w", err)
+	}
+	return OneWayResult{AliceMsg: am, BobMsg: bm, Stats: meter.Snapshot()}, nil
+}

@@ -1,0 +1,423 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"tricomm/internal/graph"
+	"tricomm/internal/xrand"
+)
+
+// chanBuf is the per-channel buffer depth. One slot is enough to let a
+// round-trip pipeline: a fan-out Send deposits without waiting for the
+// player to reach Recv, and a player's reply Send never blocks on the
+// coordinator reaching Gather.
+const chanBuf = 1
+
+// Player is a player's endpoint in the coordinator model: its identity,
+// private input, the shared randomness, and its private channel to the
+// coordinator. A Player is used only from its own goroutine.
+type Player struct {
+	// ID is the player index in [0, K).
+	ID int
+	// K is the number of players.
+	K int
+	// N is the vertex universe size.
+	N int
+	// Edges is the player's private input E_j.
+	Edges []graph.Edge
+	// View is the player's local graph (V, E_j), shared with (and cached
+	// by) the topology the session runs over.
+	View *graph.Graph
+	// Shared is the public randomness (identical on all parties).
+	Shared *xrand.Shared
+
+	in   <-chan Msg
+	out  chan<- Msg
+	done <-chan struct{}
+}
+
+// Recv blocks for the next coordinator message. It returns ErrShutdown if
+// the coordinator has finished, or the context error if ctx is canceled.
+func (p *Player) Recv(ctx context.Context) (Msg, error) {
+	select {
+	case m, ok := <-p.in:
+		if !ok {
+			return Msg{}, ErrShutdown
+		}
+		return m, nil
+	case <-p.done:
+		// Drain-race: a message may already be in flight.
+		select {
+		case m, ok := <-p.in:
+			if !ok {
+				return Msg{}, ErrShutdown
+			}
+			return m, nil
+		default:
+			return Msg{}, ErrShutdown
+		}
+	case <-ctx.Done():
+		return Msg{}, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+}
+
+// Send transmits a message to the coordinator. It returns ErrShutdown if
+// the coordinator has already finished (the message is then dropped).
+// Upstream bits are metered on the coordinator's receive side so that
+// Coordinator.Stats, read from the coordinator goroutine, is always
+// consistent with the messages it has observed.
+func (p *Player) Send(ctx context.Context, m Msg) error {
+	select {
+	case p.out <- m:
+		return nil
+	case <-p.done:
+		return ErrShutdown
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+}
+
+// PlayerFunc is the code run by each player goroutine.
+type PlayerFunc func(ctx context.Context, p *Player) error
+
+// Coordinator is the coordinator's endpoint: private channels to every
+// player plus the shared randomness. Single-message Send/Recv are used
+// from the coordinator goroutine only; Broadcast, Gather, and AskAll fan
+// out internally but present the same single-goroutine interface.
+type Coordinator struct {
+	// K is the number of players.
+	K int
+	// N is the vertex universe size.
+	N int
+	// Shared is the public randomness.
+	Shared *xrand.Shared
+
+	to    []chan<- Msg
+	from  []<-chan Msg
+	pdone []<-chan struct{} // closed when the player goroutine exits
+	meter *Meter
+	seq   bool // sequential fan-out (regression-testing knob)
+}
+
+// Send transmits a message to player j. It returns ErrPlayerDone if the
+// player goroutine has already exited — checked up front, so a dead
+// player is reported deterministically instead of the message slipping
+// into the channel buffer.
+func (c *Coordinator) Send(ctx context.Context, j int, m Msg) error {
+	select {
+	case <-c.pdone[j]:
+		return fmt.Errorf("%w: player %d", ErrPlayerDone, j)
+	default:
+	}
+	select {
+	case c.to[j] <- m:
+		c.meter.AddDown(j, m.Bits())
+		return nil
+	case <-c.pdone[j]:
+		return fmt.Errorf("%w: player %d", ErrPlayerDone, j)
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+}
+
+// Recv blocks for the next message from player j. It returns
+// ErrPlayerDone if the player goroutine has exited (Run then surfaces the
+// player's own error).
+func (c *Coordinator) Recv(ctx context.Context, j int) (Msg, error) {
+	select {
+	case m, ok := <-c.from[j]:
+		if !ok {
+			return Msg{}, fmt.Errorf("%w: player %d", ErrPlayerDone, j)
+		}
+		c.meter.AddUp(j, m.Bits())
+		return m, nil
+	case <-ctx.Done():
+		return Msg{}, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+}
+
+// firstErr returns the lowest-indexed non-nil error, so the concurrent
+// fan-out reports the same error a sequential player-order loop would.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Broadcast sends m to every player concurrently. In the coordinator model
+// a broadcast is k unicasts and is charged k·|m| bits; per-message atomic
+// metering makes the accounting identical to the sequential schedule.
+func (c *Coordinator) Broadcast(ctx context.Context, m Msg) error {
+	if c.seq {
+		for j := 0; j < c.K; j++ {
+			if err := c.Send(ctx, j, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Fast path: with buffered channels an idle player costs no goroutine.
+	// A player that has already exited is routed to the slow path so Send
+	// reports ErrPlayerDone instead of depositing into its dead buffer.
+	var pending []int
+	for j := 0; j < c.K; j++ {
+		select {
+		case <-c.pdone[j]:
+			pending = append(pending, j)
+			continue
+		default:
+		}
+		select {
+		case c.to[j] <- m:
+			c.meter.AddDown(j, m.Bits())
+		default:
+			pending = append(pending, j)
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	errs := make([]error, len(pending))
+	var wg sync.WaitGroup
+	for i, j := range pending {
+		wg.Add(1)
+		go func(i, j int) {
+			defer wg.Done()
+			errs[i] = c.Send(ctx, j, m)
+		}(i, j)
+	}
+	wg.Wait()
+	return firstErr(errs)
+}
+
+// Gather receives one message from every player concurrently; the returned
+// slice is in player order regardless of arrival order.
+func (c *Coordinator) Gather(ctx context.Context) ([]Msg, error) {
+	msgs := make([]Msg, c.K)
+	if c.seq {
+		for j := 0; j < c.K; j++ {
+			m, err := c.Recv(ctx, j)
+			if err != nil {
+				return nil, err
+			}
+			msgs[j] = m
+		}
+		return msgs, nil
+	}
+	// Fast path: drain replies already sitting in the channel buffers.
+	var pending []int
+	for j := 0; j < c.K; j++ {
+		select {
+		case m, ok := <-c.from[j]:
+			if !ok {
+				return nil, fmt.Errorf("%w: player %d", ErrPlayerDone, j)
+			}
+			c.meter.AddUp(j, m.Bits())
+			msgs[j] = m
+		default:
+			pending = append(pending, j)
+		}
+	}
+	if len(pending) == 0 {
+		return msgs, nil
+	}
+	// Fan in concurrently, returning on the first failure so that a dead
+	// player aborts the round even while another player never replies —
+	// waiting for all k would deadlock the session on that player.
+	// Receivers still parked in Recv when an error wins unwind at session
+	// shutdown; the result channel is buffered so they never block on it.
+	type gathered struct {
+		j   int
+		m   Msg
+		err error
+	}
+	ch := make(chan gathered, len(pending))
+	for _, j := range pending {
+		go func(j int) {
+			m, err := c.Recv(ctx, j)
+			ch <- gathered{j: j, m: m, err: err}
+		}(j)
+	}
+	for range pending {
+		g := <-ch
+		if g.err != nil {
+			return nil, g.err
+		}
+		msgs[g.j] = g.m
+	}
+	return msgs, nil
+}
+
+// Ask sends m to player j and waits for the reply — one coordinator-model
+// round with a single player.
+func (c *Coordinator) Ask(ctx context.Context, j int, m Msg) (Msg, error) {
+	if err := c.Send(ctx, j, m); err != nil {
+		return Msg{}, err
+	}
+	return c.Recv(ctx, j)
+}
+
+// AskAll sends m to every player and gathers all replies, counting one
+// round.
+func (c *Coordinator) AskAll(ctx context.Context, m Msg) ([]Msg, error) {
+	c.Round()
+	if err := c.Broadcast(ctx, m); err != nil {
+		return nil, err
+	}
+	return c.Gather(ctx)
+}
+
+// Round declares the start of a new protocol round (for accounting only).
+func (c *Coordinator) Round() { c.meter.AddRound() }
+
+// BeginPhase attributes subsequent traffic to the named phase (see
+// Meter.BeginPhase). Call between rounds.
+func (c *Coordinator) BeginPhase(name string) { c.meter.BeginPhase(name) }
+
+// Stats snapshots the communication cost so far; protocols use it to
+// attribute bits to phases.
+func (c *Coordinator) Stats() Stats { return c.meter.Snapshot() }
+
+// CoordinatorFunc is the coordinator's protocol code. When it returns, the
+// cluster shuts down: players blocked in Recv observe ErrShutdown.
+type CoordinatorFunc func(ctx context.Context, c *Coordinator) error
+
+// RunOption tweaks a session's execution strategy (never its accounting).
+type RunOption func(*runOpts)
+
+type runOpts struct {
+	seqFanout bool
+}
+
+// SequentialFanout makes Broadcast/Gather serialize their k unicasts in
+// player order, as the pre-engine runtime did. It exists for regression
+// tests and benchmarks comparing the two schedules; on successful runs,
+// results and Stats are identical either way.
+func SequentialFanout() RunOption {
+	return func(o *runOpts) { o.seqFanout = true }
+}
+
+// Run executes one protocol in the coordinator model over a throwaway
+// topology built from cfg. Prefer RunOn with a reused Topology when
+// running several protocols against one cluster.
+func Run(ctx context.Context, cfg Config, coord CoordinatorFunc, player PlayerFunc, opts ...RunOption) (Stats, error) {
+	top, err := cfg.Topology()
+	if err != nil {
+		return Stats{}, err
+	}
+	return RunOn(ctx, top, coord, player, opts...)
+}
+
+// RunOn executes one protocol in the coordinator model over top: it spawns
+// one goroutine per player running player, executes coord in the calling
+// goroutine, then shuts the players down and waits for them. The first
+// non-shutdown error from any party is returned alongside the cost
+// snapshot. Player views come from the topology's cache.
+func RunOn(ctx context.Context, top *Topology, coord CoordinatorFunc, player PlayerFunc, opts ...RunOption) (Stats, error) {
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	k := top.K()
+	meter := NewMeter(k)
+	done := make(chan struct{})
+
+	toPlayer := make([]chan Msg, k)
+	toCoord := make([]chan Msg, k)
+	for j := 0; j < k; j++ {
+		toPlayer[j] = make(chan Msg, chanBuf)
+		toCoord[j] = make(chan Msg, chanBuf)
+	}
+
+	pdone := make([]chan struct{}, k)
+	c := &Coordinator{
+		K:      k,
+		N:      top.N(),
+		Shared: top.Shared(),
+		to:     make([]chan<- Msg, k),
+		from:   make([]<-chan Msg, k),
+		pdone:  make([]<-chan struct{}, k),
+		meter:  meter,
+		seq:    o.seqFanout,
+	}
+	for j := 0; j < k; j++ {
+		c.to[j] = toPlayer[j]
+		c.from[j] = toCoord[j]
+		pdone[j] = make(chan struct{})
+		c.pdone[j] = pdone[j]
+	}
+
+	errs := make(chan error, k)
+	var wg sync.WaitGroup
+	for j := 0; j < k; j++ {
+		p := &Player{
+			ID:     j,
+			K:      k,
+			N:      top.N(),
+			Edges:  top.Input(j),
+			View:   top.View(j),
+			Shared: top.Shared(),
+			in:     toPlayer[j],
+			out:    toCoord[j],
+			done:   done,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Closing these channels unblocks a coordinator waiting in
+			// Recv on, or Send to, a player that has terminated.
+			defer close(toCoord[p.ID])
+			defer close(pdone[p.ID])
+			if err := player(ctx, p); err != nil && !errors.Is(err, ErrShutdown) {
+				errs <- fmt.Errorf("player %d: %w", p.ID, err)
+			}
+		}()
+	}
+
+	coordErr := coord(ctx, c)
+	close(done)
+	wg.Wait()
+	close(errs)
+
+	// Player errors take precedence: a coordinator error of "player
+	// terminated" is a symptom, the player's own failure is the cause.
+	for err := range errs {
+		if err != nil {
+			return meter.Snapshot(), err
+		}
+	}
+	if coordErr != nil {
+		return meter.Snapshot(), fmt.Errorf("coordinator: %w", coordErr)
+	}
+	return meter.Snapshot(), nil
+}
+
+// ServeLoop is a convenience player main loop: it calls handle for every
+// coordinator message and sends back the reply, exiting cleanly on
+// shutdown. Most request/reply protocols use it directly.
+func ServeLoop(handle func(p *Player, req Msg) (Msg, error)) PlayerFunc {
+	return func(ctx context.Context, p *Player) error {
+		for {
+			req, err := p.Recv(ctx)
+			if err != nil {
+				if errors.Is(err, ErrShutdown) {
+					return nil
+				}
+				return err
+			}
+			reply, err := handle(p, req)
+			if err != nil {
+				return err
+			}
+			if err := p.Send(ctx, reply); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package engine is the unified concurrent protocol runtime behind every
+// communication model in package comm.
+//
+// The three models of the paper — coordinator, blackboard, and
+// simultaneous (plus the 3-player one-way model of §4.2.2) — share one
+// substrate here:
+//
+//   - Topology: the per-instance state that is expensive to build and
+//     cheap to share — the players' local graph views (graph.FromEdges
+//     over each input). A Topology is built once per cluster and reused
+//     across every protocol run and Test call; views materialize lazily,
+//     exactly once, and are safe for concurrent readers.
+//
+//   - Session: one protocol execution over a Topology. A session owns the
+//     channels, the goroutines, and a Meter; it dies with the run while
+//     the Topology lives on.
+//
+//   - Meter: per-player atomic accounting with round counting, optional
+//     named-phase attribution, and a dedicated counter for blackboard
+//     posts made by the coordinator (so board traffic is never
+//     misattributed to player 0's channel).
+//
+// The coordinator model's Broadcast/Gather/AskAll fan out and fan in
+// concurrently over buffered channels instead of serializing k unicasts in
+// player order; cost accounting is order-independent (per-message atomic
+// adds), so on successful runs Stats are bit-identical to a sequential
+// schedule — a property the regression tests pin down. On error paths the
+// snapshot is best-effort: a message sent concurrently with a player's
+// failure may be metered even though the player never drained it.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"tricomm/internal/wire"
+	"tricomm/internal/xrand"
+)
+
+// Sentinel errors for the coordinator model. The messages keep the "comm:"
+// prefix because package comm is the public face of this runtime.
+var (
+	// ErrShutdown is returned from Player.Recv when the coordinator has
+	// finished and the cluster is shutting down gracefully. Player loops
+	// should treat it as a normal exit.
+	ErrShutdown = errors.New("comm: cluster shut down")
+	// ErrCanceled is returned when the run context is canceled.
+	ErrCanceled = errors.New("comm: run canceled")
+	// ErrPlayerDone is returned from Coordinator.Recv when the player has
+	// terminated (usually with an error of its own, which Run reports).
+	ErrPlayerDone = errors.New("comm: player terminated")
+)
+
+// Config describes a protocol instance: the vertex universe, the players'
+// private inputs, and the shared randomness. A Config is the throwaway
+// form; Topology is the reusable one (see Config.Topology).
+type Config struct {
+	// N is the number of vertices of the underlying graph.
+	N int
+	// Inputs[j] is player j's private edge set. len(Inputs) is k.
+	Inputs [][]wire.Edge
+	// Shared is the public random string all parties can read.
+	Shared *xrand.Shared
+}
+
+// K reports the number of players.
+func (c Config) K() int { return len(c.Inputs) }
+
+// Validate checks the config invariants shared by every model.
+func (c Config) Validate() error {
+	if c.N < 0 {
+		return fmt.Errorf("comm: negative vertex count %d", c.N)
+	}
+	if len(c.Inputs) == 0 {
+		return errors.New("comm: no players")
+	}
+	if c.Shared == nil {
+		return errors.New("comm: nil shared randomness")
+	}
+	return nil
+}
+
+// Topology builds a fresh reusable topology from the config.
+func (c Config) Topology() (*Topology, error) {
+	return NewTopology(c.N, c.Inputs, c.Shared)
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Meter accumulates the communication cost of a protocol run on per-player
+// atomic counters, so concurrent fan-out goroutines never contend on a
+// lock. It additionally supports named-phase attribution (BeginPhase) and
+// a dedicated counter for blackboard posts made by the coordinator. The
+// zero value is unusable — use NewMeter.
+type Meter struct {
+	up       []atomic.Int64 // player → coordinator bits, per player
+	down     []atomic.Int64 // coordinator → player bits, per player
+	coord    atomic.Int64   // coordinator blackboard posts (no player channel)
+	messages atomic.Int64
+	rounds   atomic.Int64
+
+	phaseMu sync.Mutex
+	phases  []*phaseCounter
+	cur     atomic.Pointer[phaseCounter]
+}
+
+type phaseCounter struct {
+	name string
+	bits atomic.Int64
+}
+
+// NewMeter returns a meter for k players.
+func NewMeter(k int) *Meter {
+	return &Meter{up: make([]atomic.Int64, k), down: make([]atomic.Int64, k)}
+}
+
+func (m *Meter) addPhase(bits int) {
+	if p := m.cur.Load(); p != nil {
+		p.bits.Add(int64(bits))
+	}
+}
+
+// AddUp charges bits to player→coordinator traffic on player's channel.
+func (m *Meter) AddUp(player, bits int) {
+	m.up[player].Add(int64(bits))
+	m.addPhase(bits)
+	m.messages.Add(1)
+}
+
+// AddDown charges bits to coordinator→player traffic on player's channel.
+func (m *Meter) AddDown(player, bits int) {
+	m.down[player].Add(int64(bits))
+	m.addPhase(bits)
+	m.messages.Add(1)
+}
+
+// AddCoordinator charges bits posted by the coordinator to a public
+// blackboard: counted in the totals but on no player's channel.
+func (m *Meter) AddCoordinator(bits int) {
+	m.coord.Add(int64(bits))
+	m.addPhase(bits)
+	m.messages.Add(1)
+}
+
+// AddRound counts one protocol round.
+func (m *Meter) AddRound() { m.rounds.Add(1) }
+
+// BeginPhase attributes all subsequent traffic to the named phase until
+// the next BeginPhase. Re-entering a name resumes its counter. Call it
+// from the scheduling goroutine at quiescent points (between rounds).
+func (m *Meter) BeginPhase(name string) {
+	m.phaseMu.Lock()
+	defer m.phaseMu.Unlock()
+	for _, p := range m.phases {
+		if p.name == name {
+			m.cur.Store(p)
+			return
+		}
+	}
+	p := &phaseCounter{name: name}
+	m.phases = append(m.phases, p)
+	m.cur.Store(p)
+}
+
+// Stats is a snapshot of a protocol run's communication cost.
+type Stats struct {
+	// TotalBits is the total number of bits exchanged in all directions:
+	// UpBits + DownBits + CoordinatorBits.
+	TotalBits int64
+	// UpBits is the total player→coordinator (or player→board) traffic.
+	UpBits int64
+	// DownBits is the total coordinator→player traffic.
+	DownBits int64
+	// CoordinatorBits is blackboard traffic posted by the coordinator
+	// itself — public posts that cross no player channel, so they count in
+	// TotalBits but in no PerPlayer entry.
+	CoordinatorBits int64
+	// PerPlayer[j] is the traffic on player j's channel in both directions.
+	PerPlayer []int64
+	// Messages is the number of messages sent.
+	Messages int64
+	// Rounds is the number of protocol rounds the coordinator declared.
+	Rounds int64
+	// Phases attributes bits to the phases declared via BeginPhase; nil
+	// when the run declared none.
+	Phases map[string]int64
+}
+
+// MaxPlayerBits reports the largest per-player channel traffic.
+func (s Stats) MaxPlayerBits() int64 {
+	var best int64
+	for _, v := range s.PerPlayer {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Snapshot returns the current cost totals. Counters are read atomically;
+// when messages are in flight the snapshot retries a few times for a
+// stable read, and it is always exact at quiescent points — which is where
+// protocols take their snapshots (fan-out calls return only after every
+// message they cover has been metered).
+func (m *Meter) Snapshot() Stats {
+	var s Stats
+	for attempt := 0; ; attempt++ {
+		before := m.messages.Load()
+		s = m.read()
+		if m.messages.Load() == before || attempt >= 3 {
+			return s
+		}
+	}
+}
+
+func (m *Meter) read() Stats {
+	s := Stats{
+		PerPlayer:       make([]int64, len(m.up)),
+		CoordinatorBits: m.coord.Load(),
+		Messages:        m.messages.Load(),
+		Rounds:          m.rounds.Load(),
+	}
+	for j := range m.up {
+		u, d := m.up[j].Load(), m.down[j].Load()
+		s.UpBits += u
+		s.DownBits += d
+		s.PerPlayer[j] = u + d
+	}
+	s.TotalBits = s.UpBits + s.DownBits + s.CoordinatorBits
+	m.phaseMu.Lock()
+	if len(m.phases) > 0 {
+		s.Phases = make(map[string]int64, len(m.phases))
+		for _, p := range m.phases {
+			s.Phases[p.name] = p.bits.Load()
+		}
+	}
+	m.phaseMu.Unlock()
+	return s
+}

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"tricomm/internal/wire"
+)
+
+// Msg is an immutable bit-string message. The zero value is the empty
+// message.
+type Msg struct {
+	bits int
+	data []byte
+}
+
+// FromWriter seals the bits written to w into a message. The writer's
+// buffer is copied, so w may be reused afterwards.
+func FromWriter(w *wire.Writer) Msg {
+	data := make([]byte, len(w.Bytes()))
+	copy(data, w.Bytes())
+	return Msg{bits: w.BitLen(), data: data}
+}
+
+// Bits reports the message length in bits.
+func (m Msg) Bits() int { return m.bits }
+
+// IsEmpty reports whether the message carries no bits.
+func (m Msg) IsEmpty() bool { return m.bits == 0 }
+
+// Reader returns a fresh reader over the message bits.
+func (m Msg) Reader() *wire.Reader { return wire.NewReader(m.data, m.bits) }
+
+// Ack is a conventional 1-bit acknowledgement message.
+func Ack() Msg {
+	var w wire.Writer
+	w.WriteBit(1)
+	return FromWriter(&w)
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"tricomm/internal/graph"
+	"tricomm/internal/xrand"
+)
+
+// SimPlayer is a player's view in the simultaneous model: input and shared
+// randomness, but no channel — the player speaks exactly once.
+type SimPlayer struct {
+	// ID is the player index in [0, K).
+	ID int
+	// K is the number of players.
+	K int
+	// N is the vertex universe size.
+	N int
+	// Edges is the player's private input E_j.
+	Edges []graph.Edge
+	// View is the player's local graph (V, E_j), shared with the topology
+	// cache.
+	View *graph.Graph
+	// Shared is the public randomness.
+	Shared *xrand.Shared
+}
+
+// SimPlayerFunc computes a player's single message from its input.
+type SimPlayerFunc func(p *SimPlayer) (Msg, error)
+
+// RefereeFunc consumes the k player messages and produces the output. It
+// has access to the shared randomness but to no input.
+type RefereeFunc func(shared *xrand.Shared, msgs []Msg) error
+
+// simPlayers materializes the ordered player views over the topology's
+// cached local graphs.
+func simPlayers(top *Topology) []*SimPlayer {
+	players := make([]*SimPlayer, top.K())
+	for j := range players {
+		players[j] = &SimPlayer{
+			ID:     j,
+			K:      top.K(),
+			N:      top.N(),
+			Edges:  top.Input(j),
+			View:   top.View(j),
+			Shared: top.Shared(),
+		}
+	}
+	return players
+}
+
+// RunSimultaneous executes one protocol in the simultaneous model over a
+// throwaway topology built from cfg. Prefer RunSimultaneousOn with a
+// reused Topology when running several protocols against one cluster.
+func RunSimultaneous(ctx context.Context, cfg Config, player SimPlayerFunc, referee RefereeFunc) (Stats, error) {
+	top, err := cfg.Topology()
+	if err != nil {
+		return Stats{}, err
+	}
+	return RunSimultaneousOn(ctx, top, player, referee)
+}
+
+// RunSimultaneousOn executes one protocol in the simultaneous model over
+// top: every player computes its message concurrently, the messages are
+// metered, and the referee is invoked on the ordered message vector.
+func RunSimultaneousOn(ctx context.Context, top *Topology, player SimPlayerFunc, referee RefereeFunc) (Stats, error) {
+	k := top.K()
+	meter := NewMeter(k)
+	msgs := make([]Msg, k)
+	errs := make([]error, k)
+
+	var wg sync.WaitGroup
+	for _, p := range simPlayers(top) {
+		wg.Add(1)
+		go func(p *SimPlayer) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[p.ID] = fmt.Errorf("%w: %v", ErrCanceled, err)
+				return
+			}
+			m, err := player(p)
+			if err != nil {
+				errs[p.ID] = fmt.Errorf("player %d: %w", p.ID, err)
+				return
+			}
+			msgs[p.ID] = m
+		}(p)
+	}
+	wg.Wait()
+	if err := firstErr(errs); err != nil {
+		return meter.Snapshot(), err
+	}
+	for j, m := range msgs {
+		meter.AddUp(j, m.Bits())
+	}
+	meter.AddRound()
+	if err := referee(top.Shared(), msgs); err != nil {
+		return meter.Snapshot(), fmt.Errorf("referee: %w", err)
+	}
+	return meter.Snapshot(), nil
+}

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"sync"
+
+	"tricomm/internal/graph"
+	"tricomm/internal/wire"
+	"tricomm/internal/xrand"
+)
+
+// viewCache lazily materializes the players' local graphs. Building
+// graph.FromEdges for every player on every run is the dominant
+// non-protocol cost in harness sweeps; the cache builds each view exactly
+// once per topology and shares it across runs. A built *graph.Graph is
+// immutable, so concurrent readers are safe.
+type viewCache struct {
+	once  []sync.Once
+	views []*graph.Graph
+}
+
+// Topology is the reusable per-cluster state every model runs over: the
+// vertex universe, the players' inputs, the shared randomness, and the
+// cached per-player views. Build one per cluster and run as many protocols
+// over it as you like; sessions created from it are independent.
+type Topology struct {
+	n      int
+	inputs [][]wire.Edge
+	shared *xrand.Shared
+	cache  *viewCache
+}
+
+// NewTopology validates the instance and returns a topology with an empty
+// view cache.
+func NewTopology(n int, inputs [][]wire.Edge, shared *xrand.Shared) (*Topology, error) {
+	cfg := Config{N: n, Inputs: inputs, Shared: shared}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(inputs)
+	return &Topology{
+		n:      n,
+		inputs: inputs,
+		shared: shared,
+		cache:  &viewCache{once: make([]sync.Once, k), views: make([]*graph.Graph, k)},
+	}, nil
+}
+
+// N reports the vertex universe size.
+func (t *Topology) N() int { return t.n }
+
+// K reports the number of players.
+func (t *Topology) K() int { return len(t.inputs) }
+
+// Shared returns the public randomness.
+func (t *Topology) Shared() *xrand.Shared { return t.shared }
+
+// Input returns player j's private edge set. The slice is shared; do not
+// modify.
+func (t *Topology) Input(j int) []wire.Edge { return t.inputs[j] }
+
+// View returns player j's local graph (V, E_j), building it on first use
+// and caching it for every later run over this topology.
+func (t *Topology) View(j int) *graph.Graph {
+	t.cache.once[j].Do(func() {
+		t.cache.views[j] = graph.FromEdges(t.n, t.inputs[j])
+	})
+	return t.cache.views[j]
+}
+
+// Warm materializes every player view now. Sessions call it implicitly on
+// first use; calling it eagerly moves the build cost out of the first run.
+func (t *Topology) Warm() {
+	for j := range t.inputs {
+		t.View(j)
+	}
+}
+
+// WithShared returns a topology over the same inputs and the same view
+// cache but different shared randomness — the cheap way to re-run a
+// protocol with fresh randomness on an unchanged cluster (views are
+// randomness-independent, so the cache stays valid and shared).
+func (t *Topology) WithShared(shared *xrand.Shared) *Topology {
+	return &Topology{n: t.n, inputs: t.inputs, shared: shared, cache: t.cache}
+}
+
+// Config returns the throwaway-config form of the topology.
+func (t *Topology) Config() Config {
+	return Config{N: t.n, Inputs: t.inputs, Shared: t.shared}
+}

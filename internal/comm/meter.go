@@ -1,82 +1,14 @@
 package comm
 
-import "sync"
+import "tricomm/internal/comm/engine"
 
-// Meter accumulates the communication cost of a protocol run. It is safe
-// for concurrent use; the zero value is unusable — use newMeter.
-type Meter struct {
-	mu       sync.Mutex
-	up       []int64 // player → coordinator bits, per player
-	down     []int64 // coordinator → player bits, per player
-	messages int64
-	rounds   int64
-}
+// Meter accumulates the communication cost of a protocol run on
+// per-player atomic counters. It is safe for concurrent use; the zero
+// value is unusable — use NewMeter.
+type Meter = engine.Meter
 
-func newMeter(k int) *Meter {
-	return &Meter{up: make([]int64, k), down: make([]int64, k)}
-}
-
-func (m *Meter) addUp(player, bits int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.up[player] += int64(bits)
-	m.messages++
-}
-
-func (m *Meter) addDown(player, bits int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.down[player] += int64(bits)
-	m.messages++
-}
-
-func (m *Meter) addRound() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.rounds++
-}
+// NewMeter returns a meter for k players.
+func NewMeter(k int) *Meter { return engine.NewMeter(k) }
 
 // Stats is a snapshot of a protocol run's communication cost.
-type Stats struct {
-	// TotalBits is the total number of bits exchanged in both directions.
-	TotalBits int64
-	// UpBits is the total player→coordinator traffic.
-	UpBits int64
-	// DownBits is the total coordinator→player traffic.
-	DownBits int64
-	// PerPlayer[j] is the traffic on player j's channel in both directions.
-	PerPlayer []int64
-	// Messages is the number of messages sent.
-	Messages int64
-	// Rounds is the number of protocol rounds the coordinator declared.
-	Rounds int64
-}
-
-// MaxPlayerBits reports the largest per-player channel traffic.
-func (s Stats) MaxPlayerBits() int64 {
-	var best int64
-	for _, v := range s.PerPlayer {
-		if v > best {
-			best = v
-		}
-	}
-	return best
-}
-
-// Snapshot returns the current cost totals.
-func (m *Meter) Snapshot() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := Stats{
-		PerPlayer: make([]int64, len(m.up)),
-		Messages:  m.messages,
-		Rounds:    m.rounds,
-	}
-	for j := range m.up {
-		s.UpBits += m.up[j]
-		s.DownBits += m.down[j]
-		s.PerPlayer[j] = m.up[j] + m.down[j]
-	}
-	s.TotalBits = s.UpBits + s.DownBits
-	return s
-}
+type Stats = engine.Stats

@@ -35,7 +35,7 @@ func NewPeerNet(k int) *PeerNet {
 	}
 	return &PeerNet{
 		k:         k,
-		meter:     newMeter(k),
+		meter:     NewMeter(k),
 		queues:    make(map[int][]peerMsg),
 		routeBits: wire.BitsFor(k),
 	}
@@ -48,7 +48,7 @@ func (pn *PeerNet) Send(from, to int, m Msg) error {
 	if from < 0 || from >= pn.k || to < 0 || to >= pn.k || from == to {
 		return fmt.Errorf("comm: invalid peer route %d → %d (k=%d)", from, to, pn.k)
 	}
-	pn.meter.addUp(from, m.Bits())
+	pn.meter.AddUp(from, m.Bits())
 	pn.routed += int64(pn.routeBits)
 	pn.queues[to] = append(pn.queues[to], peerMsg{from: from, msg: m})
 	return nil

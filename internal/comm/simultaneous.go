@@ -2,86 +2,32 @@ package comm
 
 import (
 	"context"
-	"fmt"
-	"sync"
 
-	"tricomm/internal/graph"
-	"tricomm/internal/xrand"
+	"tricomm/internal/comm/engine"
 )
 
 // SimPlayer is a player's view in the simultaneous model: input and shared
 // randomness, but no channel — the player speaks exactly once.
-type SimPlayer struct {
-	// ID is the player index in [0, K).
-	ID int
-	// K is the number of players.
-	K int
-	// N is the vertex universe size.
-	N int
-	// Edges is the player's private input E_j.
-	Edges []graph.Edge
-	// View is the player's local graph (V, E_j).
-	View *graph.Graph
-	// Shared is the public randomness.
-	Shared *xrand.Shared
-}
+type SimPlayer = engine.SimPlayer
 
 // SimPlayerFunc computes a player's single message from its input.
-type SimPlayerFunc func(p *SimPlayer) (Msg, error)
+type SimPlayerFunc = engine.SimPlayerFunc
 
 // RefereeFunc consumes the k player messages and produces the output. It
 // has access to the shared randomness but to no input.
-type RefereeFunc func(shared *xrand.Shared, msgs []Msg) error
+type RefereeFunc = engine.RefereeFunc
 
-// RunSimultaneous executes one protocol in the simultaneous model: every
-// player computes its message concurrently, the messages are metered, and
-// the referee is invoked on the ordered message vector.
+// RunSimultaneous executes one protocol in the simultaneous model over a
+// throwaway topology built from cfg; see RunSimultaneousOn for the
+// reusable-topology form.
 func RunSimultaneous(ctx context.Context, cfg Config, player SimPlayerFunc, referee RefereeFunc) (Stats, error) {
-	if err := cfg.validate(); err != nil {
-		return Stats{}, err
-	}
-	k := cfg.K()
-	meter := newMeter(k)
-	msgs := make([]Msg, k)
-	errs := make([]error, k)
+	return engine.RunSimultaneous(ctx, cfg, player, referee)
+}
 
-	var wg sync.WaitGroup
-	for j := 0; j < k; j++ {
-		p := &SimPlayer{
-			ID:     j,
-			K:      k,
-			N:      cfg.N,
-			Edges:  cfg.Inputs[j],
-			View:   graph.FromEdges(cfg.N, cfg.Inputs[j]),
-			Shared: cfg.Shared,
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := ctx.Err(); err != nil {
-				errs[p.ID] = fmt.Errorf("%w: %v", ErrCanceled, err)
-				return
-			}
-			m, err := player(p)
-			if err != nil {
-				errs[p.ID] = fmt.Errorf("player %d: %w", p.ID, err)
-				return
-			}
-			msgs[p.ID] = m
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return meter.Snapshot(), err
-		}
-	}
-	for j, m := range msgs {
-		meter.addUp(j, m.Bits())
-	}
-	meter.addRound()
-	if err := referee(cfg.Shared, msgs); err != nil {
-		return meter.Snapshot(), fmt.Errorf("referee: %w", err)
-	}
-	return meter.Snapshot(), nil
+// RunSimultaneousOn executes one protocol in the simultaneous model over
+// top, reusing its cached player views: every player computes its message
+// concurrently, the messages are metered, and the referee is invoked on
+// the ordered message vector.
+func RunSimultaneousOn(ctx context.Context, top *Topology, player SimPlayerFunc, referee RefereeFunc) (Stats, error) {
+	return engine.RunSimultaneousOn(ctx, top, player, referee)
 }

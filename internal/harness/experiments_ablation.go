@@ -56,7 +56,10 @@ func e12Behrend() Experiment {
 							g := gen.mk(rng)
 							shared := xrand.New(seed)
 							p := partition.Disjoint{}.Split(g, 4, shared)
-							c := comm.Config{N: g.N(), Inputs: p.Inputs, Shared: shared}
+							top, err := comm.NewTopology(g.N(), p.Inputs, shared)
+							if err != nil {
+								return nil, err
+							}
 							var tst tester
 							if proto == "sim-high" {
 								tst = protocol.SimHigh{Eps: 1.0 / 3, AvgDegree: g.AvgDegree(), Delta: 0.1,
@@ -65,7 +68,7 @@ func e12Behrend() Experiment {
 								tst = protocol.Unrestricted{Eps: 1.0 / 3, AvgDegree: g.AvgDegree(),
 									Tag: fmt.Sprintf("e12/%s/%d", gen.name, trial)}
 							}
-							res, err := tst.Run(context.Background(), c)
+							res, err := tst.RunOn(context.Background(), top)
 							if err != nil {
 								return nil, err
 							}
@@ -114,7 +117,10 @@ func e13Bucketing() Experiment {
 					eps := g.FarnessLowerBound()
 					shared := xrand.New(seed)
 					p := partition.Disjoint{}.Split(g, 4, shared)
-					c := comm.Config{N: g.N(), Inputs: p.Inputs, Shared: shared}
+					top, err := comm.NewTopology(g.N(), p.Inputs, shared)
+					if err != nil {
+						return nil, err
+					}
 					var tst tester
 					if tc == "bucketed" {
 						tst = protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
@@ -125,7 +131,7 @@ func e13Bucketing() Experiment {
 						tst = protocol.NaiveUniform{Eps: eps,
 							Tag: fmt.Sprintf("e13n/%d", trial)}
 					}
-					res, err := tst.Run(context.Background(), c)
+					res, err := tst.RunOn(context.Background(), top)
 					if err != nil {
 						return nil, err
 					}

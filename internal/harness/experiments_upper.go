@@ -15,37 +15,71 @@ import (
 	"tricomm/internal/xrand"
 )
 
-// tester abstracts the protocols for sweep helpers.
+// tester abstracts the protocols for sweep helpers. Protocols run over a
+// reusable comm.Topology so that sweeps comparing several testers on the
+// same instance build each player view once.
 type tester interface {
 	Name() string
-	Run(ctx context.Context, cfg comm.Config) (protocol.Result, error)
+	RunOn(ctx context.Context, top *comm.Topology) (protocol.Result, error)
 }
 
-// measure runs a tester `trials` times on fresh instances drawn by gen and
-// returns per-trial total bits and the number of successful detections.
-func measure(cfg RunConfig, trials int, gen func(rng *rand.Rand) *graph.Graph,
-	pt partition.Partitioner, k int, mk func(g *graph.Graph, trial int) tester) (bits []float64, found int, phases map[string]float64, err error) {
-	phases = map[string]float64{}
+// measured aggregates one tester's results over a sweep's trials.
+type measured struct {
+	// bits is the per-trial total communication.
+	bits []float64
+	// found counts the trials that exhibited a triangle.
+	found int
+	// phases is the mean per-phase bit attribution.
+	phases map[string]float64
+}
+
+// measureMulti runs several testers on the same instances: for each of
+// `trials` trials it draws one graph with gen, splits it once with pt, and
+// runs every mk-built tester over one shared topology, so the per-player
+// views are built once per trial instead of once per tester per trial.
+func measureMulti(cfg RunConfig, trials int, gen func(rng *rand.Rand) *graph.Graph,
+	pt partition.Partitioner, k int, mks []func(g *graph.Graph, trial int) tester) ([]measured, error) {
+	out := make([]measured, len(mks))
+	for i := range out {
+		out[i].phases = map[string]float64{}
+	}
 	for trial := 0; trial < trials; trial++ {
 		seed := cfg.Seed*1_000_003 + uint64(trial)*7919
 		rng := rand.New(rand.NewSource(int64(seed)))
 		g := gen(rng)
 		shared := xrand.New(seed)
 		p := pt.Split(g, k, shared)
-		c := comm.Config{N: g.N(), Inputs: p.Inputs, Shared: shared}
-		res, rerr := mk(g, trial).Run(context.Background(), c)
-		if rerr != nil {
-			return nil, 0, nil, fmt.Errorf("trial %d: %w", trial, rerr)
+		top, err := comm.NewTopology(g.N(), p.Inputs, shared)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", trial, err)
 		}
-		bits = append(bits, float64(res.Stats.TotalBits))
-		if res.Found() {
-			found++
-		}
-		for name, v := range res.Phases {
-			phases[name] += float64(v) / float64(trials)
+		for i, mk := range mks {
+			res, rerr := mk(g, trial).RunOn(context.Background(), top)
+			if rerr != nil {
+				return nil, fmt.Errorf("trial %d: %w", trial, rerr)
+			}
+			out[i].bits = append(out[i].bits, float64(res.Stats.TotalBits))
+			if res.Found() {
+				out[i].found++
+			}
+			for name, v := range res.Phases {
+				out[i].phases[name] += float64(v) / float64(trials)
+			}
 		}
 	}
-	return bits, found, phases, nil
+	return out, nil
+}
+
+// measure runs a single tester `trials` times on fresh instances drawn by
+// gen and returns per-trial total bits and the number of successful
+// detections.
+func measure(cfg RunConfig, trials int, gen func(rng *rand.Rand) *graph.Graph,
+	pt partition.Partitioner, k int, mk func(g *graph.Graph, trial int) tester) (bits []float64, found int, phases map[string]float64, err error) {
+	out, err := measureMulti(cfg, trials, gen, pt, k, []func(g *graph.Graph, trial int) tester{mk})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return out[0].bits, out[0].found, out[0].phases, nil
 }
 
 func farGen(n int, d, eps float64) func(rng *rand.Rand) *graph.Graph {
@@ -219,28 +253,27 @@ func e2cOblivious() Experiment {
 				points = []pt{{"low", 4096, 8}, {"high", 4096, 128}}
 			}
 			for _, p := range points {
-				obl, foundO, _, err := measure(cfg, trials, farGen(p.n, p.d, eps),
-					partition.Disjoint{}, k, func(g *graph.Graph, trial int) tester {
-						return protocol.SimOblivious{Eps: eps, Delta: 0.1,
-							Tag: fmt.Sprintf("e2c/%s/%d/%d", p.regime, p.n, trial)}
-					})
-				if err != nil {
-					return nil, err
-				}
-				aware, _, _, err := measure(cfg, trials, farGen(p.n, p.d, eps),
-					partition.Disjoint{}, k, func(g *graph.Graph, trial int) tester {
-						if p.regime == "low" {
-							return protocol.SimLow{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
+				// One topology per trial serves both testers.
+				res, err := measureMulti(cfg, trials, farGen(p.n, p.d, eps),
+					partition.Disjoint{}, k, []func(g *graph.Graph, trial int) tester{
+						func(g *graph.Graph, trial int) tester {
+							return protocol.SimOblivious{Eps: eps, Delta: 0.1,
+								Tag: fmt.Sprintf("e2c/%s/%d/%d", p.regime, p.n, trial)}
+						},
+						func(g *graph.Graph, trial int) tester {
+							if p.regime == "low" {
+								return protocol.SimLow{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
+									Tag: fmt.Sprintf("e2ca/%d/%d", p.n, trial)}
+							}
+							return protocol.SimHigh{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
 								Tag: fmt.Sprintf("e2ca/%d/%d", p.n, trial)}
-						}
-						return protocol.SimHigh{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
-							Tag: fmt.Sprintf("e2ca/%d/%d", p.n, trial)}
+						},
 					})
 				if err != nil {
 					return nil, err
 				}
-				so, sa := stats.Summarize(obl), stats.Summarize(aware)
-				t.AddRow(p.regime, p.n, p.d, k, trials, foundO, so.Mean, sa.Mean, so.Mean/sa.Mean)
+				so, sa := stats.Summarize(res[0].bits), stats.Summarize(res[1].bits)
+				t.AddRow(p.regime, p.n, p.d, k, trials, res[0].found, so.Mean, sa.Mean, so.Mean/sa.Mean)
 			}
 			t.AddNote("oblivious overhead over degree-aware is the paper's O(log k · log n)-ish factor")
 			return t, nil
@@ -264,29 +297,23 @@ func e7TestingVsExact() Experiment {
 			}
 			for _, p := range points {
 				n, d := p[0], float64(p[1])
-				gen := farGen(n, d, eps)
-				exact, _, _, err := measure(cfg, trials, gen, partition.Disjoint{}, 4,
-					func(g *graph.Graph, trial int) tester { return protocol.ExactBaseline{} })
-				if err != nil {
-					return nil, err
-				}
-				unres, _, _, err := measure(cfg, trials, gen, partition.Disjoint{}, 4,
-					func(g *graph.Graph, trial int) tester {
-						return protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
-							Tag: fmt.Sprintf("e7u/%d/%d", n, trial)}
+				// All three testers share each trial's instance and topology.
+				res, err := measureMulti(cfg, trials, farGen(n, d, eps),
+					partition.Disjoint{}, 4, []func(g *graph.Graph, trial int) tester{
+						func(g *graph.Graph, trial int) tester { return protocol.ExactBaseline{} },
+						func(g *graph.Graph, trial int) tester {
+							return protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
+								Tag: fmt.Sprintf("e7u/%d/%d", n, trial)}
+						},
+						func(g *graph.Graph, trial int) tester {
+							return protocol.SimOblivious{Eps: eps, Delta: 0.1,
+								Tag: fmt.Sprintf("e7s/%d/%d", n, trial)}
+						},
 					})
 				if err != nil {
 					return nil, err
 				}
-				sim, _, _, err := measure(cfg, trials, gen, partition.Disjoint{}, 4,
-					func(g *graph.Graph, trial int) tester {
-						return protocol.SimOblivious{Eps: eps, Delta: 0.1,
-							Tag: fmt.Sprintf("e7s/%d/%d", n, trial)}
-					})
-				if err != nil {
-					return nil, err
-				}
-				se, su, ss := stats.Summarize(exact), stats.Summarize(unres), stats.Summarize(sim)
+				se, su, ss := stats.Summarize(res[0].bits), stats.Summarize(res[1].bits), stats.Summarize(res[2].bits)
 				t.AddRow(n, d, 4, se.Mean, su.Mean, ss.Mean, se.Mean/su.Mean, se.Mean/ss.Mean)
 			}
 			t.AddNote("testing wins and its advantage grows with nd; exact cost is Θ(k·nd·log n) by construction")
@@ -311,23 +338,23 @@ func e8Blackboard() Experiment {
 				ks = []int{2, 8}
 			}
 			for _, k := range ks {
-				coord, _, _, err := measure(cfg, trials, farGen(n, d, eps),
-					partition.Duplicate{Q: 0.5}, k, func(g *graph.Graph, trial int) tester {
-						return protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
-							Tag: fmt.Sprintf("e8c/%d/%d", k, trial)}
+				// Coordinator and blackboard variants share each trial's
+				// instance and topology.
+				res, err := measureMulti(cfg, trials, farGen(n, d, eps),
+					partition.Duplicate{Q: 0.5}, k, []func(g *graph.Graph, trial int) tester{
+						func(g *graph.Graph, trial int) tester {
+							return protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
+								Tag: fmt.Sprintf("e8c/%d/%d", k, trial)}
+						},
+						func(g *graph.Graph, trial int) tester {
+							return protocol.UnrestrictedBlackboard{Eps: eps, AvgDegree: g.AvgDegree(),
+								Tag: fmt.Sprintf("e8b/%d/%d", k, trial)}
+						},
 					})
 				if err != nil {
 					return nil, err
 				}
-				board, _, _, err := measure(cfg, trials, farGen(n, d, eps),
-					partition.Duplicate{Q: 0.5}, k, func(g *graph.Graph, trial int) tester {
-						return protocol.UnrestrictedBlackboard{Eps: eps, AvgDegree: g.AvgDegree(),
-							Tag: fmt.Sprintf("e8b/%d/%d", k, trial)}
-					})
-				if err != nil {
-					return nil, err
-				}
-				sc, sb := stats.Summarize(coord), stats.Summarize(board)
+				sc, sb := stats.Summarize(res[0].bits), stats.Summarize(res[1].bits)
 				t.AddRow(k, n, d, sc.Mean, sb.Mean, sc.Mean/sb.Mean)
 			}
 			t.AddNote("the coordinator/blackboard ratio grows with k, as predicted")
@@ -431,7 +458,10 @@ func e10NoDup() Experiment {
 						g := graph.FarWithDegree(graph.FarParams{N: n, D: tc.d, Eps: eps}, rng).G
 						shared := xrand.New(seed)
 						p := pt.Split(g, k, shared)
-						c := comm.Config{N: g.N(), Inputs: p.Inputs, Shared: shared}
+						top, err := comm.NewTopology(g.N(), p.Inputs, shared)
+						if err != nil {
+							return nil, err
+						}
 						var tst tester
 						if tc.proto == "sim-low" {
 							tst = protocol.SimLow{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
@@ -440,7 +470,7 @@ func e10NoDup() Experiment {
 							tst = protocol.SimHigh{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
 								Tag: fmt.Sprintf("e10/%s/%d", pt.Name(), trial)}
 						}
-						res, err := tst.Run(context.Background(), c)
+						res, err := tst.RunOn(context.Background(), top)
 						if err != nil {
 							return nil, err
 						}

@@ -40,8 +40,19 @@ type UnrestrictedBlackboard struct {
 // Name identifies the protocol in logs.
 func (u UnrestrictedBlackboard) Name() string { return "unrestricted-blackboard" }
 
-// Run executes the tester synchronously against a Board.
+// Run executes the tester synchronously against a Board over a throwaway
+// topology built from cfg.
 func (u UnrestrictedBlackboard) Run(ctx context.Context, cfg comm.Config) (Result, error) {
+	top, err := cfg.Topology()
+	if err != nil {
+		return Result{}, err
+	}
+	return u.RunOn(ctx, top)
+}
+
+// RunOn executes the tester synchronously against a Board, reusing top's
+// cached player views.
+func (u UnrestrictedBlackboard) RunOn(ctx context.Context, top *comm.Topology) (Result, error) {
 	if u.Eps <= 0 || u.Eps > 1 {
 		return Result{}, fmt.Errorf("protocol: blackboard needs 0 < eps ≤ 1, got %v", u.Eps)
 	}
@@ -52,15 +63,12 @@ func (u UnrestrictedBlackboard) Run(ctx context.Context, cfg comm.Config) (Resul
 	if t.CandidateFactor <= 0 || t.KeepFactor <= 0 || t.EdgeProbFactor <= 0 || t.DegreeAlpha <= 1 || t.CapSlack <= 0 {
 		t = DefaultUnrestrictedTunables()
 	}
-	players, err := comm.BoardPlayers(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	board := comm.NewBoard(cfg.K())
+	players := comm.BoardPlayersOn(top)
+	board := comm.NewBoard(top.K())
 	res := Result{Verdict: TriangleFree, Phases: map[string]int64{}}
 
-	n := cfg.N
-	k := cfg.K()
+	n := top.N()
+	k := top.K()
 	lnN := math.Log(float64(n))
 	if lnN < 1 {
 		lnN = 1
@@ -73,6 +81,7 @@ func (u UnrestrictedBlackboard) Run(ctx context.Context, cfg comm.Config) (Resul
 
 	// Phase 0: average degree. Public MSBs of local edge counts give
 	// m ≤ m̂ ≤ 2k·m when unknown.
+	board.BeginPhase("estimate")
 	d := u.AvgDegree
 	slack := 1.0
 	if d <= 0 {
@@ -95,7 +104,6 @@ func (u UnrestrictedBlackboard) Run(ctx context.Context, cfg comm.Config) (Resul
 		d = 2 * mHat / float64(n)
 		slack = 2 * float64(k)
 	}
-	res.Phases["estimate"] = board.Stats().TotalBits
 
 	dl, dh := bucket.DegreeWindow(n, d, u.Eps)
 	dl /= slack
@@ -105,6 +113,7 @@ func (u UnrestrictedBlackboard) Run(ctx context.Context, cfg comm.Config) (Resul
 	q := int(math.Ceil(t.CandidateFactor * float64(k) * lnN))
 	keep := int(math.Ceil(t.KeepFactor * lnN))
 
+	board.BeginPhase("buckets")
 	for i := lo; i <= hi; i++ {
 		board.Round()
 		type cand struct {
@@ -116,7 +125,7 @@ func (u UnrestrictedBlackboard) Run(ctx context.Context, cfg comm.Config) (Resul
 		for count := 0; count < q && len(cands) < keep; count++ {
 			// Candidate sampling: every player posts its min-rank local
 			// candidate; the global minimum is public.
-			key := cfg.Shared.Key(fmt.Sprintf("cand/%s/b%d/s%d", tag, i, count))
+			key := top.Shared().Key(fmt.Sprintf("cand/%s/b%d/s%d", tag, i, count))
 			best, found := -1, false
 			for _, p := range players {
 				local := bucket.Candidates(p.View, i, k)
@@ -176,7 +185,7 @@ func (u UnrestrictedBlackboard) Run(ctx context.Context, cfg comm.Config) (Resul
 				p = 1
 			}
 			capTotal := int(math.Ceil(t.CapSlack * math.Sqrt(t.DegreeAlpha) * dHat * p * 2))
-			key := cfg.Shared.Key(fmt.Sprintf("star/%s/b%d/e%d", tag, i, ci))
+			key := top.Shared().Key(fmt.Sprintf("star/%s/b%d/e%d", tag, i, ci))
 			posted := map[int]bool{}
 			var arms []int
 			for _, pl := range players {
@@ -225,14 +234,14 @@ func (u UnrestrictedBlackboard) Run(ctx context.Context, cfg comm.Config) (Resul
 					res.Verdict = FoundTriangle
 					res.Triangle = tri
 					res.Stats = board.Stats()
-					res.Phases["buckets"] = res.Stats.TotalBits - res.Phases["estimate"]
+					attributePhases(&res, res.Stats)
 					return res, nil
 				}
 			}
 		}
 	}
 	res.Stats = board.Stats()
-	res.Phases["buckets"] = res.Stats.TotalBits - res.Phases["estimate"]
+	attributePhases(&res, res.Stats)
 	return res, nil
 }
 

@@ -31,8 +31,19 @@ type NaiveUniform struct {
 // Name identifies the protocol in logs.
 func (p NaiveUniform) Name() string { return "naive-uniform" }
 
-// Run executes the ablated tester in the coordinator model.
+// Run executes the ablated tester in the coordinator model over a
+// throwaway topology built from cfg.
 func (p NaiveUniform) Run(ctx context.Context, cfg comm.Config) (Result, error) {
+	top, err := cfg.Topology()
+	if err != nil {
+		return Result{}, err
+	}
+	return p.RunOn(ctx, top)
+}
+
+// RunOn executes the ablated tester in the coordinator model, reusing
+// top's cached player views.
+func (p NaiveUniform) RunOn(ctx context.Context, top *comm.Topology) (Result, error) {
 	if p.Eps <= 0 || p.Eps > 1 {
 		return Result{}, fmt.Errorf("protocol: naive-uniform needs 0 < eps ≤ 1, got %v", p.Eps)
 	}
@@ -92,7 +103,7 @@ func (p NaiveUniform) Run(ctx context.Context, cfg comm.Config) (Result, error) 
 		}
 		return nil
 	}
-	stats, err := comm.Run(ctx, cfg, coord, comm.ServeLoop(blocks.Handle))
+	stats, err := comm.RunOn(ctx, top, coord, comm.ServeLoop(blocks.Handle))
 	res.Stats = stats
 	if err != nil {
 		return res, err

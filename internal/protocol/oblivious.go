@@ -73,8 +73,19 @@ func (s SimOblivious) instanceCapLow(n int) int {
 	return int(math.Ceil(t.CapSlack * math.Sqrt(float64(n)) * math.Log(float64(n)+2)))
 }
 
-// Run executes the tester in the simultaneous model.
+// Run executes the tester in the simultaneous model over a throwaway
+// topology built from cfg.
 func (s SimOblivious) Run(ctx context.Context, cfg comm.Config) (Result, error) {
+	top, err := cfg.Topology()
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunOn(ctx, top)
+}
+
+// RunOn executes the tester in the simultaneous model, reusing top's
+// cached player views.
+func (s SimOblivious) RunOn(ctx context.Context, top *comm.Topology) (Result, error) {
 	if s.Eps <= 0 || s.Eps > 1 {
 		return Result{}, fmt.Errorf("protocol: sim-oblivious needs 0 < eps ≤ 1, got %v", s.Eps)
 	}
@@ -83,10 +94,10 @@ func (s SimOblivious) Run(ctx context.Context, cfg comm.Config) (Result, error) 
 		tag = "simobl"
 	}
 	t := s.Tunables.orDefault()
-	n := cfg.N
+	n := top.N()
 	sqrtN := math.Sqrt(float64(n))
 	var res Result
-	stats, err := comm.RunSimultaneous(ctx, cfg,
+	stats, err := comm.RunSimultaneousOn(ctx, top,
 		func(pl *comm.SimPlayer) (comm.Msg, error) {
 			localAvg := 2 * float64(len(pl.Edges)) / math.Max(float64(pl.N), 1)
 			lo, hi := s.guessRange(localAvg, pl.N, pl.K)
@@ -182,10 +193,21 @@ type ExactBaseline struct{}
 func (ExactBaseline) Name() string { return "exact-baseline" }
 
 // Run executes the baseline in the simultaneous model (it needs only one
-// round).
-func (ExactBaseline) Run(ctx context.Context, cfg comm.Config) (Result, error) {
+// round) over a throwaway topology built from cfg.
+func (e ExactBaseline) Run(ctx context.Context, cfg comm.Config) (Result, error) {
+	top, err := cfg.Topology()
+	if err != nil {
+		return Result{}, err
+	}
+	return e.RunOn(ctx, top)
+}
+
+// RunOn executes the baseline in the simultaneous model, reusing top's
+// cached player views.
+func (ExactBaseline) RunOn(ctx context.Context, top *comm.Topology) (Result, error) {
+	n := top.N()
 	var res Result
-	stats, err := comm.RunSimultaneous(ctx, cfg,
+	stats, err := comm.RunSimultaneousOn(ctx, top,
 		func(pl *comm.SimPlayer) (comm.Msg, error) {
 			var w wire.Writer
 			if err := wire.NewEdgeCodec(pl.N).PutEdgeList(&w, pl.Edges); err != nil {
@@ -194,7 +216,7 @@ func (ExactBaseline) Run(ctx context.Context, cfg comm.Config) (Result, error) {
 			return comm.FromWriter(&w), nil
 		},
 		func(_ *xrand.Shared, msgs []comm.Msg) error {
-			r, err := simRefereeResult(cfg.N, msgs, decodeEdgeList(cfg.N))
+			r, err := simRefereeResult(n, msgs, decodeEdgeList(n))
 			if err != nil {
 				return err
 			}

@@ -112,8 +112,19 @@ func (s SimHigh) Cap(n int) int {
 	return int(math.Ceil(t.CapSlack / delta * (expected + 1)))
 }
 
-// Run executes the tester in the simultaneous model.
+// Run executes the tester in the simultaneous model over a throwaway
+// topology built from cfg.
 func (s SimHigh) Run(ctx context.Context, cfg comm.Config) (Result, error) {
+	top, err := cfg.Topology()
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunOn(ctx, top)
+}
+
+// RunOn executes the tester in the simultaneous model, reusing top's
+// cached player views.
+func (s SimHigh) RunOn(ctx context.Context, top *comm.Topology) (Result, error) {
 	if s.Eps <= 0 || s.AvgDegree <= 0 {
 		return Result{}, fmt.Errorf("protocol: sim-high needs eps > 0 and known degree, got eps=%v d=%v", s.Eps, s.AvgDegree)
 	}
@@ -121,10 +132,11 @@ func (s SimHigh) Run(ctx context.Context, cfg comm.Config) (Result, error) {
 	if tag == "" {
 		tag = "simhigh"
 	}
-	p := s.SampleProb(cfg.N)
-	capPer := s.Cap(cfg.N)
+	n := top.N()
+	p := s.SampleProb(n)
+	capPer := s.Cap(n)
 	var res Result
-	stats, err := comm.RunSimultaneous(ctx, cfg,
+	stats, err := comm.RunSimultaneousOn(ctx, top,
 		func(pl *comm.SimPlayer) (comm.Msg, error) {
 			key := pl.Shared.Key("vsample/" + tag)
 			var out []wire.Edge
@@ -143,7 +155,7 @@ func (s SimHigh) Run(ctx context.Context, cfg comm.Config) (Result, error) {
 			return comm.FromWriter(&w), nil
 		},
 		func(_ *xrand.Shared, msgs []comm.Msg) error {
-			r, err := simRefereeResult(cfg.N, msgs, decodeEdgeList(cfg.N))
+			r, err := simRefereeResult(n, msgs, decodeEdgeList(n))
 			if err != nil {
 				return err
 			}
@@ -199,8 +211,19 @@ func (s SimLow) Cap(n int) int {
 	return int(math.Ceil(t.CapSlack * t.C * t.C * (math.Sqrt(float64(n)) + s.AvgDegree) * 2 / delta))
 }
 
-// Run executes the tester in the simultaneous model.
+// Run executes the tester in the simultaneous model over a throwaway
+// topology built from cfg.
 func (s SimLow) Run(ctx context.Context, cfg comm.Config) (Result, error) {
+	top, err := cfg.Topology()
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunOn(ctx, top)
+}
+
+// RunOn executes the tester in the simultaneous model, reusing top's
+// cached player views.
+func (s SimLow) RunOn(ctx context.Context, top *comm.Topology) (Result, error) {
 	if s.Eps <= 0 || s.AvgDegree <= 0 {
 		return Result{}, fmt.Errorf("protocol: sim-low needs eps > 0 and known degree, got eps=%v d=%v", s.Eps, s.AvgDegree)
 	}
@@ -208,10 +231,11 @@ func (s SimLow) Run(ctx context.Context, cfg comm.Config) (Result, error) {
 	if tag == "" {
 		tag = "simlow"
 	}
-	p1, p2 := s.Probs(cfg.N)
-	capPer := s.Cap(cfg.N)
+	n := top.N()
+	p1, p2 := s.Probs(n)
+	capPer := s.Cap(n)
 	var res Result
-	stats, err := comm.RunSimultaneous(ctx, cfg,
+	stats, err := comm.RunSimultaneousOn(ctx, top,
 		func(pl *comm.SimPlayer) (comm.Msg, error) {
 			keyR := pl.Shared.Key("vsample/" + tag + "/R")
 			keyS := pl.Shared.Key("vsample/" + tag + "/S")
@@ -226,7 +250,7 @@ func (s SimLow) Run(ctx context.Context, cfg comm.Config) (Result, error) {
 			return comm.FromWriter(&w), nil
 		},
 		func(_ *xrand.Shared, msgs []comm.Msg) error {
-			r, err := simRefereeResult(cfg.N, msgs, decodeEdgeList(cfg.N))
+			r, err := simRefereeResult(n, msgs, decodeEdgeList(n))
 			if err != nil {
 				return err
 			}

@@ -91,8 +91,19 @@ func (u Unrestricted) tunables() UnrestrictedTunables {
 	return t
 }
 
-// Run executes the tester in the coordinator model.
+// Run executes the tester in the coordinator model over a throwaway
+// topology built from cfg.
 func (u Unrestricted) Run(ctx context.Context, cfg comm.Config) (Result, error) {
+	top, err := cfg.Topology()
+	if err != nil {
+		return Result{}, err
+	}
+	return u.RunOn(ctx, top)
+}
+
+// RunOn executes the tester in the coordinator model, reusing top's cached
+// player views.
+func (u Unrestricted) RunOn(ctx context.Context, top *comm.Topology) (Result, error) {
 	if u.Eps <= 0 || u.Eps > 1 {
 		return Result{}, fmt.Errorf("protocol: unrestricted needs 0 < eps ≤ 1, got %v", u.Eps)
 	}
@@ -107,7 +118,7 @@ func (u Unrestricted) Run(ctx context.Context, cfg comm.Config) (Result, error) 
 		res.Phases = r.Phases
 		return nil
 	}
-	stats, err := comm.Run(ctx, cfg, coord, comm.ServeLoop(blocks.Handle))
+	stats, err := comm.RunOn(ctx, top, coord, comm.ServeLoop(blocks.Handle))
 	res.Stats = stats
 	if err != nil {
 		return res, err
@@ -130,6 +141,7 @@ func (u Unrestricted) runCoordinator(ctx context.Context, c *comm.Coordinator) (
 
 	// Degree window: use the known average degree, or estimate a
 	// 4-approximation (Corollary 3.22) and widen the window accordingly.
+	c.BeginPhase("estimate")
 	d := u.AvgDegree
 	slack := 1.0
 	if d <= 0 {
@@ -140,13 +152,12 @@ func (u Unrestricted) runCoordinator(ctx context.Context, c *comm.Coordinator) (
 			return res, err
 		}
 		if est == 0 {
-			res.Phases["estimate"] = c.Stats().TotalBits
+			attributePhases(&res, c.Stats())
 			return res, nil // empty graph is triangle-free
 		}
 		d = 2 * est / float64(n)
 		slack = t.DegreeAlpha
 	}
-	res.Phases["estimate"] = c.Stats().TotalBits
 
 	dl, dh := bucket.DegreeWindow(n, d, u.Eps)
 	dl /= slack
@@ -157,9 +168,8 @@ func (u Unrestricted) runCoordinator(ctx context.Context, c *comm.Coordinator) (
 	keep := int(math.Ceil(t.KeepFactor * lnN))
 	sqrtA := math.Sqrt(t.DegreeAlpha)
 
-	prevBits := res.Phases["estimate"]
 	for i := lo; i <= hi; i++ {
-		tri, found, err := u.findTriangleVee(ctx, c, i, q, keep, sqrtA, lnN, tag, t, res.Phases)
+		tri, found, err := u.findTriangleVee(ctx, c, i, q, keep, sqrtA, lnN, tag, t)
 		if err != nil {
 			return res, err
 		}
@@ -169,9 +179,19 @@ func (u Unrestricted) runCoordinator(ctx context.Context, c *comm.Coordinator) (
 			break
 		}
 	}
-	cur := c.Stats().TotalBits
-	res.Phases["buckets"] = cur - prevBits
+	attributePhases(&res, c.Stats())
 	return res, nil
+}
+
+// attributePhases fills Result.Phases from the engine meter's disjoint
+// phase counters, adding the paper's "buckets" aggregate (everything past
+// the degree estimate — the candidate + edge pipeline) that the
+// experiment tables report.
+func attributePhases(res *Result, stats comm.Stats) {
+	for name, v := range stats.Phases {
+		res.Phases[name] = v
+	}
+	res.Phases["buckets"] = stats.TotalBits - res.Phases["estimate"]
 }
 
 // findTriangleVee is FindTriangleVee(Bᵢ) (Algorithm 5): gather full-vertex
@@ -180,18 +200,7 @@ func (u Unrestricted) runCoordinator(ctx context.Context, c *comm.Coordinator) (
 func (u Unrestricted) findTriangleVee(
 	ctx context.Context, c *comm.Coordinator,
 	bucketIdx, q, keep int, sqrtA, lnN float64, tag string, t UnrestrictedTunables,
-	phases map[string]int64,
 ) (tri graph.Triangle, found bool, err error) {
-	startBits := c.Stats().TotalBits
-	candEndBits := startBits
-	defer func() {
-		// Attribute this bucket's bits: everything before the edge phase is
-		// candidate work (sampling + degree filtering — the k²·polylog
-		// additive term); the rest is edge sampling and closing (the
-		// k·(nd)^{1/4} term).
-		phases["candidates"] += candEndBits - startBits
-		phases["edges"] += c.Stats().TotalBits - candEndBits
-	}()
 	type cand struct {
 		v    int
 		dEst float64
@@ -199,7 +208,9 @@ func (u Unrestricted) findTriangleVee(
 	var cands []cand
 	seen := map[int]bool{}
 	// GetFullCandidates (Algorithm 3): up to q uniform samples from B̃ᵢ,
-	// degree-filtered to ~N(Bᵢ).
+	// degree-filtered to ~N(Bᵢ) — candidate work is the k²·polylog
+	// additive term, metered under the "candidates" phase.
+	c.BeginPhase("candidates")
 	for count := 0; count < q && len(cands) < keep; count++ {
 		v, ok, serr := blocks.SampleUniformCandidate(ctx, c, bucketIdx,
 			fmt.Sprintf("%s/b%d/s%d", tag, bucketIdx, count))
@@ -237,8 +248,9 @@ func (u Unrestricted) findTriangleVee(
 			cands = append(cands, cand{v: v, dEst: dEst})
 		}
 	}
-	candEndBits = c.Stats().TotalBits
-	// SampleEdges + close (Algorithms 4–5).
+	// SampleEdges + close (Algorithms 4–5) — the k·(nd)^{1/4} term,
+	// metered under the "edges" phase.
+	c.BeginPhase("edges")
 	for ci, cd := range cands {
 		dHat := cd.dEst
 		if dHat < 2 {

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"tricomm/internal/comm"
 	"tricomm/internal/graph"
@@ -110,11 +111,26 @@ func (s SplitScheme) partitioner() (partition.Partitioner, error) {
 }
 
 // Cluster is k players holding shares of an n-vertex graph plus the
-// shared randomness — everything needed to run a protocol.
+// shared randomness — everything needed to run a protocol. The cluster
+// lazily builds one comm.Topology (the players' local graph views) and
+// reuses it across every Test call and Session, so repeated tests pay the
+// view-construction cost once.
 type Cluster struct {
 	n      int
 	inputs [][]Edge
 	shared *xrand.Shared
+
+	topOnce sync.Once
+	top     *comm.Topology
+	topErr  error
+}
+
+// topology returns the cluster's cached reusable topology.
+func (c *Cluster) topology() (*comm.Topology, error) {
+	c.topOnce.Do(func() {
+		c.top, c.topErr = comm.NewTopology(c.n, c.inputs, c.shared)
+	})
+	return c.top, c.topErr
 }
 
 // NewCluster assembles a cluster from explicit per-player edge sets over
@@ -232,59 +248,134 @@ type Report struct {
 	Bits int64
 	// PerPlayerBits is the per-player channel traffic.
 	PerPlayerBits []int64
+	// PhaseBits attributes bits to named protocol phases (e.g. "estimate",
+	// "candidates", "edges" for the interactive tester). Phases are
+	// disjoint — they sum to Bits — and come from the engine's per-phase
+	// meter. Nil when the protocol declares no phases.
+	PhaseBits map[string]int64
 	// Rounds is the number of protocol rounds.
 	Rounds int64
 	// Protocol names the tester that ran.
 	Protocol string
 }
 
-// Test runs the selected triangle-freeness tester over the cluster.
-func (c *Cluster) Test(ctx context.Context, opts Options) (Report, error) {
-	opts = opts.withDefaults()
-	cfg := comm.Config{N: c.n, Inputs: c.inputs, Shared: c.shared}
-	var (
-		res protocol.Result
-		err error
-	)
-	name := ""
-	switch opts.Protocol {
+// runner is a protocol bound to options, runnable over a reusable
+// topology.
+type runner interface {
+	Name() string
+	RunOn(ctx context.Context, top *comm.Topology) (protocol.Result, error)
+}
+
+// runner maps the selected protocol to its implementation.
+func (o Options) runner() (runner, error) {
+	switch o.Protocol {
 	case Interactive:
-		p := protocol.Unrestricted{Eps: opts.Eps, AvgDegree: opts.AvgDegree,
-			AssumeDisjoint: opts.AssumeDisjoint}
-		name = p.Name()
-		res, err = p.Run(ctx, cfg)
+		return protocol.Unrestricted{Eps: o.Eps, AvgDegree: o.AvgDegree,
+			AssumeDisjoint: o.AssumeDisjoint}, nil
 	case InteractiveBlackboard:
-		p := protocol.UnrestrictedBlackboard{Eps: opts.Eps, AvgDegree: opts.AvgDegree}
-		name = p.Name()
-		res, err = p.Run(ctx, cfg)
+		return protocol.UnrestrictedBlackboard{Eps: o.Eps, AvgDegree: o.AvgDegree}, nil
 	case SimultaneousLow:
-		p := protocol.SimLow{Eps: opts.Eps, AvgDegree: opts.AvgDegree, Delta: opts.Delta}
-		name = p.Name()
-		res, err = p.Run(ctx, cfg)
+		return protocol.SimLow{Eps: o.Eps, AvgDegree: o.AvgDegree, Delta: o.Delta}, nil
 	case SimultaneousHigh:
-		p := protocol.SimHigh{Eps: opts.Eps, AvgDegree: opts.AvgDegree, Delta: opts.Delta}
-		name = p.Name()
-		res, err = p.Run(ctx, cfg)
+		return protocol.SimHigh{Eps: o.Eps, AvgDegree: o.AvgDegree, Delta: o.Delta}, nil
 	case Auto, SimultaneousOblivious:
-		p := protocol.SimOblivious{Eps: opts.Eps, Delta: opts.Delta}
-		name = p.Name()
-		res, err = p.Run(ctx, cfg)
+		return protocol.SimOblivious{Eps: o.Eps, Delta: o.Delta}, nil
 	case Exact:
-		p := protocol.ExactBaseline{}
-		name = p.Name()
-		res, err = p.Run(ctx, cfg)
+		return protocol.ExactBaseline{}, nil
 	default:
-		return Report{}, fmt.Errorf("tricomm: unknown protocol %d", int(opts.Protocol))
+		return nil, fmt.Errorf("tricomm: unknown protocol %d", int(o.Protocol))
 	}
-	if err != nil {
-		return Report{}, err
-	}
-	return Report{
+}
+
+func report(name string, res protocol.Result) Report {
+	rep := Report{
 		TriangleFree:  !res.Found(),
 		Witness:       res.Triangle,
 		Bits:          res.Stats.TotalBits,
 		PerPlayerBits: res.Stats.PerPlayer,
 		Rounds:        res.Stats.Rounds,
 		Protocol:      name,
-	}, nil
+	}
+	// The engine meter's phase counters are disjoint by construction
+	// (every bit lands in exactly the phase active when it was sent),
+	// unlike the protocol-level Result.Phases, which keeps the paper's
+	// overlapping aggregates (e.g. "buckets" = "candidates" + "edges")
+	// for the experiment tables.
+	if len(res.Stats.Phases) > 0 {
+		rep.PhaseBits = make(map[string]int64, len(res.Stats.Phases))
+		for k, v := range res.Stats.Phases {
+			rep.PhaseBits[k] = v
+		}
+	}
+	return rep
+}
+
+// Test runs the selected triangle-freeness tester over the cluster. The
+// cluster's cached topology is reused, so repeated calls skip the
+// per-player view construction. Runs are deterministic in the cluster
+// seed: calling Test twice with the same options returns the same report.
+func (c *Cluster) Test(ctx context.Context, opts Options) (Report, error) {
+	opts = opts.withDefaults()
+	p, err := opts.runner()
+	if err != nil {
+		return Report{}, err
+	}
+	top, err := c.topology()
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := p.RunOn(ctx, top)
+	if err != nil {
+		return Report{}, err
+	}
+	return report(p.Name(), res), nil
+}
+
+// Session is a tester bound to a cluster with all reusable state — the
+// cached per-player views above all — materialized up front, for running
+// many tests against one cluster at minimal per-call cost.
+type Session struct {
+	p   runner
+	top *comm.Topology
+}
+
+// Session validates opts, binds the selected tester to the cluster, and
+// eagerly materializes the cluster's player views.
+func (c *Cluster) Session(opts Options) (*Session, error) {
+	opts = opts.withDefaults()
+	p, err := opts.runner()
+	if err != nil {
+		return nil, err
+	}
+	top, err := c.topology()
+	if err != nil {
+		return nil, err
+	}
+	top.Warm()
+	return &Session{p: p, top: top}, nil
+}
+
+// Protocol names the tester the session runs.
+func (s *Session) Protocol() string { return s.p.Name() }
+
+// Test runs the session's tester once. Results are identical to
+// Cluster.Test with the session's options.
+func (s *Session) Test(ctx context.Context) (Report, error) {
+	res, err := s.p.RunOn(ctx, s.top)
+	if err != nil {
+		return Report{}, err
+	}
+	return report(s.p.Name(), res), nil
+}
+
+// TestWithSeed reruns the session's tester with different shared
+// randomness, derived from the cluster's seed and the given tag — the way
+// to draw independent repetitions (amplifying the one-sided success
+// probability) without rebuilding any per-player state.
+func (s *Session) TestWithSeed(ctx context.Context, tag string) (Report, error) {
+	res, err := s.p.RunOn(ctx, s.top.WithShared(s.top.Shared().Derive(tag)))
+	if err != nil {
+		return Report{}, err
+	}
+	return report(s.p.Name(), res), nil
 }
