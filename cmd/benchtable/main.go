@@ -1,22 +1,37 @@
 // Command benchtable regenerates the paper-reproduction experiments
 // (DESIGN.md §4 maps each experiment id to a row of the paper's Table 1
-// or an in-text claim) and prints the measured tables. EXPERIMENTS.md was
-// produced from this tool's output.
+// or an in-text claim) and prints the measured tables.
+//
+// Trials fan out over a worker pool (-jobs, default GOMAXPROCS) and
+// independent experiments can run concurrently (-parallel); tables are
+// bit-identical at every -jobs/-parallel value because every trial's
+// randomness is a pure function of (seed, trial index) and results are
+// folded in trial order (see internal/harness/runner). Timings go to
+// stderr so stdout stays byte-deterministic. SIGINT cancels the worker
+// pools and exits after they drain.
 //
 // Examples:
 //
-//	benchtable                 # full sweep (minutes)
-//	benchtable -quick          # reduced sweep
-//	benchtable -only E3,E4     # just the probe experiments
-//	benchtable -csv results/   # also dump CSVs
+//	benchtable                  # full sweep, all cores
+//	benchtable -quick           # reduced sweep
+//	benchtable -jobs 1          # sequential trials (same bytes, slower)
+//	benchtable -only E3,E4      # just the probe experiments
+//	benchtable -csv results/    # also dump CSVs
+//	benchtable -json            # JSON array of tables on stdout
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"tricomm/internal/harness"
@@ -25,21 +40,30 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchtable: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
 func run() error {
 	var (
-		quick  = flag.Bool("quick", false, "reduced sweeps")
-		seed   = flag.Uint64("seed", 1, "experiment seed")
-		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		csvDir = flag.String("csv", "", "directory to write per-experiment CSVs")
-		trials = flag.Int("trials", 0, "override per-point trial count")
+		quick    = flag.Bool("quick", false, "reduced sweeps")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSVs")
+		trials   = flag.Int("trials", 0, "override per-point trial count")
+		jobs     = flag.Int("jobs", 0, "trial worker count (<= 0: GOMAXPROCS); tables are identical at any value")
+		parallel = flag.Int("parallel", 1, "experiments to run concurrently (output order is preserved; each carries its own -jobs pool, so in-flight trials ≈ jobs×parallel)")
+		jsonOut  = flag.Bool("json", false, "emit a JSON array of tables on stdout instead of text")
 	)
 	flag.Parse()
 
-	cfg := harness.RunConfig{Seed: *seed, Quick: *quick, Trials: *trials}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := harness.RunConfig{Seed: *seed, Quick: *quick, Trials: *trials, Jobs: *jobs}
 
 	var selected []harness.Experiment
 	if *only == "" {
@@ -61,32 +85,117 @@ func run() error {
 		}
 	}
 
-	for _, exp := range selected {
-		start := time.Now()
-		table, err := exp.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", exp.ID, err)
+	// Experiment-level concurrency: up to -parallel experiments run at
+	// once, each fanning its trials over -jobs workers. Results are
+	// collected and emitted in selection order regardless of completion
+	// order. A genuine failure cancels everything still in flight from
+	// the worker that saw it (not from the in-order collector, which may
+	// be blocked on an earlier slow experiment for minutes).
+	ectx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	width := *parallel
+	if width < 1 {
+		width = 1
+	}
+	type outcome struct {
+		table *harness.Table
+		took  time.Duration
+		err   error
+	}
+	results := make([]chan outcome, len(selected))
+	for i := range selected {
+		results[i] = make(chan outcome, 1)
+	}
+	var (
+		errOnce  sync.Once
+		firstErr error // the first genuine (non-cancellation) failure
+	)
+	fail := func(id string, err error) {
+		errOnce.Do(func() {
+			firstErr = fmt.Errorf("%s: %w", id, err)
+			cancel()
+		})
+	}
+	// Workers pull indices from a queue fed in selection order, so with
+	// -parallel 1 experiments start (and stream) strictly in order rather
+	// than racing for a semaphore.
+	queue := make(chan int)
+	go func() {
+		defer close(queue)
+		for i := range selected {
+			queue <- i
 		}
-		table.ID = exp.ID
-		table.Title = exp.Title
-		table.PaperClaim = exp.PaperClaim
-		if err := table.Render(os.Stdout); err != nil {
+	}()
+	for w := 0; w < width; w++ {
+		go func() {
+			for i := range queue {
+				if err := ectx.Err(); err != nil {
+					results[i] <- outcome{err: err}
+					continue
+				}
+				start := time.Now()
+				table, err := selected[i].Run(ectx, cfg)
+				// Errors observed after ectx was canceled are unwinding
+				// noise (SIGINT or a sibling's failure), not diagnoses.
+				if err != nil && ectx.Err() == nil {
+					fail(selected[i].ID, err)
+				}
+				results[i] <- outcome{table: table, took: time.Since(start), err: err}
+			}
+		}()
+	}
+
+	var tables []*harness.Table
+	sawErr := false
+	for i, exp := range selected {
+		o := <-results[i]
+		if o.err != nil {
+			sawErr = true
+			continue
+		}
+		if sawErr {
+			continue // keep the emitted output a clean prefix
+		}
+		o.table.ID = exp.ID
+		o.table.Title = exp.Title
+		o.table.PaperClaim = exp.PaperClaim
+		if *jsonOut {
+			tables = append(tables, o.table)
+		} else if err := o.table.Render(os.Stdout); err != nil {
 			return err
 		}
-		fmt.Printf("(%s took %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s took %v)\n", exp.ID, o.took.Round(time.Millisecond))
 		if *csvDir != "" {
-			f, err := os.Create(filepath.Join(*csvDir, exp.ID+".csv"))
-			if err != nil {
-				return err
-			}
-			if err := table.CSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			if err := writeCSV(filepath.Join(*csvDir, exp.ID+".csv"), o.table); err != nil {
 				return err
 			}
 		}
 	}
+	// All results are in, so every fail() call happened-before here.
+	if firstErr != nil {
+		return firstErr
+	}
+	if sawErr {
+		// Only cancellation-shaped outcomes remain: the run was
+		// interrupted (SIGINT/SIGTERM), not broken.
+		return fmt.Errorf("interrupted: %w", context.Canceled)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
+	}
 	return nil
+}
+
+func writeCSV(path string, table *harness.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := table.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

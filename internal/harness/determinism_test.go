@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// renderExperiment runs one experiment and renders its table the way
+// cmd/benchtable does (ID/Title/PaperClaim filled in).
+func renderExperiment(t *testing.T, id string, cfg RunConfig) string {
+	t.Helper()
+	exp, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("%s missing", id)
+	}
+	tb, err := exp.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	tb.ID, tb.Title, tb.PaperClaim = exp.ID, exp.Title, exp.PaperClaim
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatalf("%s render: %v", id, err)
+	}
+	return sb.String()
+}
+
+// TestJobsByteIdentical is the runner determinism contract at the table
+// level: for a fixed seed, rendered experiment tables are byte-identical
+// with 1 worker and with 8 — trial seeds depend only on the trial index
+// and aggregation folds in trial order, never in completion order.
+func TestJobsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, id := range []string{"E2a", "E5", "E6", "E10", "E11", "E13"} {
+		seq := renderExperiment(t, id, RunConfig{Seed: 1, Quick: true, Jobs: 1})
+		par := renderExperiment(t, id, RunConfig{Seed: 1, Quick: true, Jobs: 8})
+		if seq != par {
+			t.Errorf("%s: output differs between -jobs 1 and -jobs 8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", id, seq, par)
+		}
+	}
+}
+
+// TestGoldenQuickTable pins one -quick table byte-for-byte (seed 1, the
+// cmd/benchtable default). If a deliberate change to E6 or the table
+// renderer alters this, regenerate with:
+//
+//	go run ./cmd/benchtable -quick -only E6 2>/dev/null
+//
+// An unintended mismatch means trial seeding or fold order drifted —
+// the determinism contract every EXPERIMENTS.md number relies on.
+func TestGoldenQuickTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	got := renderExperiment(t, "E6", RunConfig{Seed: 1, Quick: true, Jobs: 8})
+	if got != goldenE6Quick {
+		t.Errorf("E6 quick table drifted from golden pin:\n--- got ---\n%s\n--- want ---\n%s", got, goldenE6Quick)
+	}
+}
+
+const goldenE6Quick = `== E6: Boolean Hidden Matching reduction (d = Θ(1)) ==
+paper: Table 1 row 6 / Thm 4.16: Ω(√n) one-way bits for triangle-freeness at d = O(1)
+bhm_n  graph_n  side                              detect_rate  det_lo95  det_hi95  false_pos  tester_bits  bits/√n  
+-----  -------  --------------------------------  -----------  --------  --------  ---------  -----------  ---------
+64     257      all-zeros (n disjoint triangles)  0.5          0.09453   0.9055    0          2090         130.4    
+64     257      all-ones (triangle-free)          0            -         -         0          1276         79.59    
+256    1025     all-zeros (n disjoint triangles)  1            0.3424    1         0          3426         107      
+256    1025     all-ones (triangle-free)          0            -         -         0          3184         99.45    
+note: tester cost fit vs graph n: y ≈ 288·x^0.357 (R²=1.000, n=2) — the Õ(k√n) upper bound meets the Ω(√n) reduction bound
+note: false positives are structurally impossible (one-sided error); detection on the far side is w.h.p.
+note: det_lo95/det_hi95 are Wilson-score intervals on the far-side detection rate (small-count safe); dashes on triangle-free rows, where rejection is structurally impossible
+
+`

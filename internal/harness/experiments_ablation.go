@@ -5,12 +5,10 @@ import (
 	"fmt"
 	"math/rand"
 
-	"tricomm/internal/comm"
 	"tricomm/internal/graph"
+	"tricomm/internal/harness/runner"
 	"tricomm/internal/partition"
 	"tricomm/internal/protocol"
-	"tricomm/internal/stats"
-	"tricomm/internal/xrand"
 )
 
 // e12Behrend exercises the triangle-sparse hard instances the paper's §5
@@ -23,13 +21,21 @@ func e12Behrend() Experiment {
 		ID:         "E12",
 		Title:      "Behrend instances: triangle-sparse vs triangle-dense ε-far inputs",
 		PaperClaim: "§5 outlook: Behrend graphs as the expected hard dense inputs; testers must stay complete on them",
-		Run: func(cfg RunConfig) (*Table, error) {
+		Run: func(ctx context.Context, cfg RunConfig) (*Table, error) {
 			t := &Table{Columns: []string{"generator", "n", "d", "eps", "protocol", "trials", "found", "bits"}}
 			trials := cfg.trials(5)
 			ms := []int{243, 729}
 			if cfg.Quick {
 				ms = []int{243}
 			}
+			type block struct {
+				genName string
+				n       int
+				d       float64
+				proto   string
+				mk      func(rng *rand.Rand) *graph.Graph
+			}
+			var bs []block
 			for _, m := range ms {
 				bg := graph.NewBehrendGraph(m)
 				n := bg.G.N()
@@ -48,38 +54,37 @@ func e12Behrend() Experiment {
 					{"kaaa-planted", control},
 				} {
 					for _, proto := range []string{"sim-high", "unrestricted"} {
-						var bits []float64
-						found := 0
-						for trial := 0; trial < trials; trial++ {
-							seed := cfg.Seed*313 + uint64(trial)
-							rng := rand.New(rand.NewSource(int64(seed)))
-							g := gen.mk(rng)
-							shared := xrand.New(seed)
-							p := partition.Disjoint{}.Split(g, 4, shared)
-							top, err := comm.NewTopology(g.N(), p.Inputs, shared)
-							if err != nil {
-								return nil, err
-							}
-							var tst tester
-							if proto == "sim-high" {
-								tst = protocol.SimHigh{Eps: 1.0 / 3, AvgDegree: g.AvgDegree(), Delta: 0.1,
-									Tag: fmt.Sprintf("e12/%s/%d", gen.name, trial)}
-							} else {
-								tst = protocol.Unrestricted{Eps: 1.0 / 3, AvgDegree: g.AvgDegree(),
-									Tag: fmt.Sprintf("e12/%s/%d", gen.name, trial)}
-							}
-							res, err := tst.RunOn(context.Background(), top)
-							if err != nil {
-								return nil, err
-							}
-							bits = append(bits, float64(res.Stats.TotalBits))
-							if res.Found() {
-								found++
-							}
-						}
-						t.AddRow(gen.name, n, d, "1/3", proto, trials, found, stats.Summarize(bits).Mean)
+						bs = append(bs, block{gen.name, n, d, proto, gen.mk})
 					}
 				}
+			}
+			plans := make([]runner.Plan, len(bs))
+			for bi, b := range bs {
+				plans[bi] = runner.Plan{
+					Trials:      trials,
+					Seed:        func(trial int) uint64 { return cfg.Seed*313 + uint64(trial) },
+					Gen:         b.mk,
+					Partitioner: partition.Disjoint{},
+					K:           4,
+					Testers: []func(g *graph.Graph, trial int) runner.Tester{
+						func(g *graph.Graph, trial int) runner.Tester {
+							if b.proto == "sim-high" {
+								return protocol.SimHigh{Eps: 1.0 / 3, AvgDegree: g.AvgDegree(), Delta: 0.1,
+									Tag: fmt.Sprintf("e12/%s/%d", b.genName, trial)}
+							}
+							return protocol.Unrestricted{Eps: 1.0 / 3, AvgDegree: g.AvgDegree(),
+								Tag: fmt.Sprintf("e12/%s/%d", b.genName, trial)}
+						},
+					},
+				}
+			}
+			aggs, err := sweep(ctx, cfg, plans)
+			if err != nil {
+				return nil, err
+			}
+			for bi, b := range bs {
+				a := aggs[bi][0]
+				t.AddRow(b.genName, b.n, b.d, "1/3", b.proto, trials, a.Found, a.Summary().Mean)
 			}
 			t.AddNote("Behrend inputs have every edge on exactly ONE triangle — completeness must not rely on triangle-dense neighborhoods")
 			return t, nil
@@ -95,7 +100,7 @@ func e13Bucketing() Experiment {
 		ID:         "E13",
 		Title:      "Ablation: bucketed candidate sampling vs uniform vertex sampling",
 		PaperClaim: "§3.3: \"a uniformly random vertex is not always likely to be full\" — bucketing targets dense subgraphs",
-		Run: func(cfg RunConfig) (*Table, error) {
+		Run: func(ctx context.Context, cfg RunConfig) (*Table, error) {
 			t := &Table{Columns: []string{"tester", "n", "block", "trials", "found", "bits"}}
 			trials := cfg.trials(6)
 			// A hidden K_{6,6,6} block among 12000 vertices: all triangles
@@ -107,40 +112,36 @@ func e13Bucketing() Experiment {
 				g, _ := graph.HiddenBlock(graph.HiddenBlockParams{N: n, A: blockA, NoiseDeg: 4}, rng)
 				return g
 			}
-			for _, tc := range []string{"bucketed", "naive-uniform"} {
-				var bits []float64
-				found := 0
-				for trial := 0; trial < trials; trial++ {
-					seed := cfg.Seed*127 + uint64(trial)
-					rng := rand.New(rand.NewSource(int64(seed)))
-					g := gen(rng)
-					eps := g.FarnessLowerBound()
-					shared := xrand.New(seed)
-					p := partition.Disjoint{}.Split(g, 4, shared)
-					top, err := comm.NewTopology(g.N(), p.Inputs, shared)
-					if err != nil {
-						return nil, err
-					}
-					var tst tester
-					if tc == "bucketed" {
-						tst = protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
-							Tag: fmt.Sprintf("e13b/%d", trial)}
-					} else {
-						// Same uniform-sample budget the bucketed tester
-						// spends per bucket (q = 3·k·ln n).
-						tst = protocol.NaiveUniform{Eps: eps,
-							Tag: fmt.Sprintf("e13n/%d", trial)}
-					}
-					res, err := tst.RunOn(context.Background(), top)
-					if err != nil {
-						return nil, err
-					}
-					bits = append(bits, float64(res.Stats.TotalBits))
-					if res.Found() {
-						found++
-					}
+			testers := []string{"bucketed", "naive-uniform"}
+			plans := make([]runner.Plan, len(testers))
+			for ti, tc := range testers {
+				plans[ti] = runner.Plan{
+					Trials:      trials,
+					Seed:        func(trial int) uint64 { return cfg.Seed*127 + uint64(trial) },
+					Gen:         gen,
+					Partitioner: partition.Disjoint{},
+					K:           4,
+					Testers: []func(g *graph.Graph, trial int) runner.Tester{
+						func(g *graph.Graph, trial int) runner.Tester {
+							if tc == "bucketed" {
+								return protocol.Unrestricted{Eps: g.FarnessLowerBound(), AvgDegree: g.AvgDegree(),
+									Tag: fmt.Sprintf("e13b/%d", trial)}
+							}
+							// Same uniform-sample budget the bucketed tester
+							// spends per bucket (q = 3·k·ln n).
+							return protocol.NaiveUniform{Eps: g.FarnessLowerBound(),
+								Tag: fmt.Sprintf("e13n/%d", trial)}
+						},
+					},
 				}
-				t.AddRow(tc, n, fmt.Sprintf("K_{%d,%d,%d}", blockA, blockA, blockA), trials, found, stats.Summarize(bits).Mean)
+			}
+			aggs, err := sweep(ctx, cfg, plans)
+			if err != nil {
+				return nil, err
+			}
+			for ti, tc := range testers {
+				a := aggs[ti][0]
+				t.AddRow(tc, n, fmt.Sprintf("K_{%d,%d,%d}", blockA, blockA, blockA), trials, a.Found, a.Summary().Mean)
 			}
 			t.AddNote("all triangles live on %d of %d vertices: uniform sampling almost never probes the block", 3*blockA, n)
 			return t, nil

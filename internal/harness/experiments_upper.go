@@ -9,77 +9,54 @@ import (
 	"tricomm/internal/blocks"
 	"tricomm/internal/comm"
 	"tricomm/internal/graph"
+	"tricomm/internal/harness/runner"
 	"tricomm/internal/partition"
 	"tricomm/internal/protocol"
 	"tricomm/internal/stats"
 	"tricomm/internal/xrand"
 )
 
-// tester abstracts the protocols for sweep helpers. Protocols run over a
-// reusable comm.Topology so that sweeps comparing several testers on the
-// same instance build each player view once.
-type tester interface {
-	Name() string
-	RunOn(ctx context.Context, top *comm.Topology) (protocol.Result, error)
-}
-
-// measured aggregates one tester's results over a sweep's trials.
-type measured struct {
-	// bits is the per-trial total communication.
-	bits []float64
-	// found counts the trials that exhibited a triangle.
-	found int
-	// phases is the mean per-phase bit attribution.
-	phases map[string]float64
-}
-
-// measureMulti runs several testers on the same instances: for each of
-// `trials` trials it draws one graph with gen, splits it once with pt, and
-// runs every mk-built tester over one shared topology, so the per-player
-// views are built once per trial instead of once per tester per trial.
-func measureMulti(cfg RunConfig, trials int, gen func(rng *rand.Rand) *graph.Graph,
-	pt partition.Partitioner, k int, mks []func(g *graph.Graph, trial int) tester) ([]measured, error) {
-	out := make([]measured, len(mks))
-	for i := range out {
-		out[i].phases = map[string]float64{}
+// planFor declares the canonical sweep-point plan: each trial draws one
+// graph with gen, splits it once with pt, and runs every mk-built tester
+// over one shared topology, so per-player views are built once per trial
+// instead of once per tester per trial. Trial seeds use the historical
+// derivation (runner.TrialSeed), keeping tables bit-identical to the
+// pre-runner sequential harness.
+func planFor(cfg RunConfig, trials int, gen func(rng *rand.Rand) *graph.Graph,
+	pt partition.Partitioner, k int, mks ...func(g *graph.Graph, trial int) runner.Tester) runner.Plan {
+	return runner.Plan{
+		Trials:      trials,
+		Seed:        func(trial int) uint64 { return runner.TrialSeed(cfg.Seed, trial) },
+		Gen:         gen,
+		Partitioner: pt,
+		K:           k,
+		Testers:     mks,
 	}
-	for trial := 0; trial < trials; trial++ {
-		seed := cfg.Seed*1_000_003 + uint64(trial)*7919
-		rng := rand.New(rand.NewSource(int64(seed)))
-		g := gen(rng)
-		shared := xrand.New(seed)
-		p := pt.Split(g, k, shared)
-		top, err := comm.NewTopology(g.N(), p.Inputs, shared)
-		if err != nil {
-			return nil, fmt.Errorf("trial %d: %w", trial, err)
+}
+
+// sweep executes one plan per sweep point over a single shared worker
+// pool and folds each point's trials — in trial order, so aggregates are
+// bit-identical at every worker count — into per-tester aggregators,
+// indexed [point][tester].
+func sweep(ctx context.Context, cfg RunConfig, plans []runner.Plan) ([][]*stats.TrialAggregator, error) {
+	res, err := runner.RunPlans(ctx, cfg.jobs(), plans)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*stats.TrialAggregator, len(plans))
+	for pi, p := range plans {
+		aggs := make([]*stats.TrialAggregator, len(p.Testers))
+		for i := range aggs {
+			aggs[i] = stats.NewTrialAggregator(p.Trials)
 		}
-		for i, mk := range mks {
-			res, rerr := mk(g, trial).RunOn(context.Background(), top)
-			if rerr != nil {
-				return nil, fmt.Errorf("trial %d: %w", trial, rerr)
-			}
-			out[i].bits = append(out[i].bits, float64(res.Stats.TotalBits))
-			if res.Found() {
-				out[i].found++
-			}
-			for name, v := range res.Phases {
-				out[i].phases[name] += float64(v) / float64(trials)
+		for _, row := range res[pi] {
+			for i, r := range row {
+				aggs[i].Add(r.Bits, r.Found, r.Phases)
 			}
 		}
+		out[pi] = aggs
 	}
 	return out, nil
-}
-
-// measure runs a single tester `trials` times on fresh instances drawn by
-// gen and returns per-trial total bits and the number of successful
-// detections.
-func measure(cfg RunConfig, trials int, gen func(rng *rand.Rand) *graph.Graph,
-	pt partition.Partitioner, k int, mk func(g *graph.Graph, trial int) tester) (bits []float64, found int, phases map[string]float64, err error) {
-	out, err := measureMulti(cfg, trials, gen, pt, k, []func(g *graph.Graph, trial int) tester{mk})
-	if err != nil {
-		return nil, 0, nil, err
-	}
-	return out[0].bits, out[0].found, out[0].phases, nil
 }
 
 func farGen(n int, d, eps float64) func(rng *rand.Rand) *graph.Graph {
@@ -98,7 +75,7 @@ func e1Unrestricted() Experiment {
 		ID:         "E1",
 		Title:      "Unrestricted tester scaling (coordinator model)",
 		PaperClaim: "Table 1 row 1 / Thm 3.20: Õ(k·(nd)^{1/4} + k²) bits, all degrees",
-		Run: func(cfg RunConfig) (*Table, error) {
+		Run: func(ctx context.Context, cfg RunConfig) (*Table, error) {
 			t := &Table{
 				Columns: []string{"n", "d", "k", "eps", "trials", "found", "total_bits", "cand_bits", "edge_bits", "edge/(k·(nd)^1/4)"},
 			}
@@ -108,41 +85,47 @@ func e1Unrestricted() Experiment {
 			}
 			const d, eps, k = 8.0, 0.2, 4
 			trials := cfg.trials(3)
-			var xs, ys []float64
+			// The sweep: the n sweep at fixed k, then the k sweep at fixed
+			// n (the additive k² term). All points feed one worker pool;
+			// rows and fits fold in declaration order.
+			type point struct {
+				n, k int
+				tag  string
+			}
+			var points []point
 			for _, n := range ns {
-				bits, found, phases, err := measure(cfg, trials, farGen(n, d, eps),
-					partition.Disjoint{}, k, func(g *graph.Graph, trial int) tester {
+				points = append(points, point{n, k, fmt.Sprintf("e1/%d", n)})
+			}
+			const kn = 1024
+			for _, kk := range []int{2, 4, 8} {
+				points = append(points, point{kn, kk, fmt.Sprintf("e1k/%d", kk)})
+			}
+			plans := make([]runner.Plan, len(points))
+			for pi, p := range points {
+				plans[pi] = planFor(cfg, trials, farGen(p.n, d, eps), partition.Disjoint{}, p.k,
+					func(g *graph.Graph, trial int) runner.Tester {
 						return protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
-							Tag: fmt.Sprintf("e1/%d/%d", n, trial)}
+							Tag: fmt.Sprintf("%s/%d", p.tag, trial)}
 					})
-				if err != nil {
-					return nil, err
+			}
+			aggs, err := sweep(ctx, cfg, plans)
+			if err != nil {
+				return nil, err
+			}
+			var xs, ys []float64
+			for pi, p := range points {
+				a := aggs[pi][0]
+				s := a.Summary()
+				edge := a.PhaseMeans["edges"]
+				norm := edge / (float64(p.k) * math.Pow(float64(p.n)*d, 0.25))
+				t.AddRow(p.n, d, p.k, eps, trials, a.Found, s.Mean, a.PhaseMeans["candidates"], edge, norm)
+				if pi < len(ns) {
+					xs = append(xs, float64(p.n)*d)
+					ys = append(ys, edge+1)
 				}
-				s := stats.Summarize(bits)
-				edge := phases["edges"]
-				norm := edge / (float64(k) * math.Pow(float64(n)*d, 0.25))
-				t.AddRow(n, d, k, eps, trials, found, s.Mean, phases["candidates"], edge, norm)
-				xs = append(xs, float64(n)*d)
-				ys = append(ys, edge+1)
 			}
 			if fit, err := stats.FitPower(xs, ys); err == nil {
 				t.AddNote("edge-phase fit vs nd: %s (paper predicts exponent 0.25)", fit)
-			}
-			// k sweep at fixed n: the additive k² term.
-			const n = 1024
-			for _, kk := range []int{2, 4, 8} {
-				bits, found, phases, err := measure(cfg, trials, farGen(n, d, eps),
-					partition.Disjoint{}, kk, func(g *graph.Graph, trial int) tester {
-						return protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
-							Tag: fmt.Sprintf("e1k/%d/%d", kk, trial)}
-					})
-				if err != nil {
-					return nil, err
-				}
-				s := stats.Summarize(bits)
-				edge := phases["edges"]
-				norm := edge / (float64(kk) * math.Pow(float64(n)*d, 0.25))
-				t.AddRow(n, d, kk, eps, trials, found, s.Mean, phases["candidates"], edge, norm)
 			}
 			t.AddNote("candidate phase is the k²·polylog additive term and dominates at these n, as the bound allows")
 			return t, nil
@@ -156,7 +139,7 @@ func e2aSimLow() Experiment {
 		ID:         "E2a",
 		Title:      "Simultaneous tester, low degree d = O(√n)",
 		PaperClaim: "Table 1 row 2 / Thm 3.26: Õ(k·√n) bits for d = O(√n)",
-		Run: func(cfg RunConfig) (*Table, error) {
+		Run: func(ctx context.Context, cfg RunConfig) (*Table, error) {
 			t := &Table{Columns: []string{"n", "d", "k", "trials", "found", "bits", "bits/(k·√n)", "bits/(k·√n·lg n)"}}
 			ns := []int{1024, 4096, 16384, 65536}
 			if cfg.Quick {
@@ -164,19 +147,24 @@ func e2aSimLow() Experiment {
 			}
 			const d, eps, k = 8.0, 0.2, 8
 			trials := cfg.trials(3)
-			var xs, ys []float64
-			for _, n := range ns {
-				bits, found, _, err := measure(cfg, trials, farGen(n, d, eps),
-					partition.Disjoint{}, k, func(g *graph.Graph, trial int) tester {
+			plans := make([]runner.Plan, len(ns))
+			for ni, n := range ns {
+				plans[ni] = planFor(cfg, trials, farGen(n, d, eps), partition.Disjoint{}, k,
+					func(g *graph.Graph, trial int) runner.Tester {
 						return protocol.SimLow{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
 							Tag: fmt.Sprintf("e2a/%d/%d", n, trial)}
 					})
-				if err != nil {
-					return nil, err
-				}
-				s := stats.Summarize(bits)
+			}
+			aggs, err := sweep(ctx, cfg, plans)
+			if err != nil {
+				return nil, err
+			}
+			var xs, ys []float64
+			for ni, n := range ns {
+				a := aggs[ni][0]
+				s := a.Summary()
 				norm := s.Mean / (float64(k) * math.Sqrt(float64(n)))
-				t.AddRow(n, d, k, trials, found, s.Mean, norm, norm/math.Log2(float64(n)))
+				t.AddRow(n, d, k, trials, a.Found, s.Mean, norm, norm/math.Log2(float64(n)))
 				xs = append(xs, float64(n))
 				ys = append(ys, s.Mean)
 			}
@@ -194,7 +182,7 @@ func e2bSimHigh() Experiment {
 		ID:         "E2b",
 		Title:      "Simultaneous tester, high degree d = Ω(√n)",
 		PaperClaim: "Table 1 row 2 / Thm 3.24: Õ(k·(nd)^{1/3}) bits for d = Ω(√n)",
-		Run: func(cfg RunConfig) (*Table, error) {
+		Run: func(ctx context.Context, cfg RunConfig) (*Table, error) {
 			t := &Table{Columns: []string{"n", "d", "k", "trials", "found", "bits", "bits/(k·(nd)^1/3)", "bits/(k·(nd)^1/3·lg n)"}}
 			ns := []int{1024, 4096, 16384}
 			if cfg.Quick {
@@ -202,20 +190,26 @@ func e2bSimHigh() Experiment {
 			}
 			const eps, k = 0.2, 8
 			trials := cfg.trials(3)
-			var xs, ys []float64
-			for _, n := range ns {
-				d := math.Sqrt(float64(n)) * 2 // d = 2√n, inside the regime
-				bits, found, _, err := measure(cfg, trials, farGen(n, d, eps),
-					partition.Disjoint{}, k, func(g *graph.Graph, trial int) tester {
+			degree := func(n int) float64 { return math.Sqrt(float64(n)) * 2 } // d = 2√n, inside the regime
+			plans := make([]runner.Plan, len(ns))
+			for ni, n := range ns {
+				plans[ni] = planFor(cfg, trials, farGen(n, degree(n), eps), partition.Disjoint{}, k,
+					func(g *graph.Graph, trial int) runner.Tester {
 						return protocol.SimHigh{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
 							Tag: fmt.Sprintf("e2b/%d/%d", n, trial)}
 					})
-				if err != nil {
-					return nil, err
-				}
-				s := stats.Summarize(bits)
+			}
+			aggs, err := sweep(ctx, cfg, plans)
+			if err != nil {
+				return nil, err
+			}
+			var xs, ys []float64
+			for ni, n := range ns {
+				d := degree(n)
+				a := aggs[ni][0]
+				s := a.Summary()
 				norm := s.Mean / (float64(k) * math.Cbrt(float64(n)*d))
-				t.AddRow(n, d, k, trials, found, s.Mean, norm, norm/math.Log2(float64(n)))
+				t.AddRow(n, d, k, trials, a.Found, s.Mean, norm, norm/math.Log2(float64(n)))
 				xs = append(xs, float64(n)*d)
 				ys = append(ys, s.Mean)
 			}
@@ -234,7 +228,7 @@ func e2cOblivious() Experiment {
 		ID:         "E2c",
 		Title:      "Degree-oblivious simultaneous tester vs degree-aware",
 		PaperClaim: "Thm 3.32 / Alg 11: one protocol, Õ(k√n) for d=O(√n) and Õ(k(nd)^{1/3}) for d=Ω(√n), d unknown",
-		Run: func(cfg RunConfig) (*Table, error) {
+		Run: func(ctx context.Context, cfg RunConfig) (*Table, error) {
 			t := &Table{Columns: []string{"regime", "n", "d", "k", "trials", "found", "obl_bits", "aware_bits", "ratio"}}
 			const eps, k = 0.2, 8
 			trials := cfg.trials(3)
@@ -252,28 +246,30 @@ func e2cOblivious() Experiment {
 			if cfg.Quick {
 				points = []pt{{"low", 4096, 8}, {"high", 4096, 128}}
 			}
-			for _, p := range points {
+			plans := make([]runner.Plan, len(points))
+			for pi, p := range points {
 				// One topology per trial serves both testers.
-				res, err := measureMulti(cfg, trials, farGen(p.n, p.d, eps),
-					partition.Disjoint{}, k, []func(g *graph.Graph, trial int) tester{
-						func(g *graph.Graph, trial int) tester {
-							return protocol.SimOblivious{Eps: eps, Delta: 0.1,
-								Tag: fmt.Sprintf("e2c/%s/%d/%d", p.regime, p.n, trial)}
-						},
-						func(g *graph.Graph, trial int) tester {
-							if p.regime == "low" {
-								return protocol.SimLow{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
-									Tag: fmt.Sprintf("e2ca/%d/%d", p.n, trial)}
-							}
-							return protocol.SimHigh{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
+				plans[pi] = planFor(cfg, trials, farGen(p.n, p.d, eps), partition.Disjoint{}, k,
+					func(g *graph.Graph, trial int) runner.Tester {
+						return protocol.SimOblivious{Eps: eps, Delta: 0.1,
+							Tag: fmt.Sprintf("e2c/%s/%d/%d", p.regime, p.n, trial)}
+					},
+					func(g *graph.Graph, trial int) runner.Tester {
+						if p.regime == "low" {
+							return protocol.SimLow{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
 								Tag: fmt.Sprintf("e2ca/%d/%d", p.n, trial)}
-						},
+						}
+						return protocol.SimHigh{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
+							Tag: fmt.Sprintf("e2ca/%d/%d", p.n, trial)}
 					})
-				if err != nil {
-					return nil, err
-				}
-				so, sa := stats.Summarize(res[0].bits), stats.Summarize(res[1].bits)
-				t.AddRow(p.regime, p.n, p.d, k, trials, res[0].found, so.Mean, sa.Mean, so.Mean/sa.Mean)
+			}
+			aggs, err := sweep(ctx, cfg, plans)
+			if err != nil {
+				return nil, err
+			}
+			for pi, p := range points {
+				so, sa := aggs[pi][0].Summary(), aggs[pi][1].Summary()
+				t.AddRow(p.regime, p.n, p.d, k, trials, aggs[pi][0].Found, so.Mean, sa.Mean, so.Mean/sa.Mean)
 			}
 			t.AddNote("oblivious overhead over degree-aware is the paper's O(log k · log n)-ish factor")
 			return t, nil
@@ -287,7 +283,7 @@ func e7TestingVsExact() Experiment {
 		ID:         "E7",
 		Title:      "Property testing vs exact detection",
 		PaperClaim: "§5 vs [38]: exact needs Ω(k·nd) bits; testing needs Õ(k·(nd)^{1/4}+k²) / Õ(k√n)",
-		Run: func(cfg RunConfig) (*Table, error) {
+		Run: func(ctx context.Context, cfg RunConfig) (*Table, error) {
 			t := &Table{Columns: []string{"n", "d", "k", "exact_bits", "unrestricted_bits", "sim_obl_bits", "exact/unrestricted", "exact/sim"}}
 			const eps = 0.2
 			trials := cfg.trials(3)
@@ -295,26 +291,28 @@ func e7TestingVsExact() Experiment {
 			if cfg.Quick {
 				points = [][2]int{{2048, 16}}
 			}
-			for _, p := range points {
+			plans := make([]runner.Plan, len(points))
+			for pi, p := range points {
 				n, d := p[0], float64(p[1])
 				// All three testers share each trial's instance and topology.
-				res, err := measureMulti(cfg, trials, farGen(n, d, eps),
-					partition.Disjoint{}, 4, []func(g *graph.Graph, trial int) tester{
-						func(g *graph.Graph, trial int) tester { return protocol.ExactBaseline{} },
-						func(g *graph.Graph, trial int) tester {
-							return protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
-								Tag: fmt.Sprintf("e7u/%d/%d", n, trial)}
-						},
-						func(g *graph.Graph, trial int) tester {
-							return protocol.SimOblivious{Eps: eps, Delta: 0.1,
-								Tag: fmt.Sprintf("e7s/%d/%d", n, trial)}
-						},
+				plans[pi] = planFor(cfg, trials, farGen(n, d, eps), partition.Disjoint{}, 4,
+					func(g *graph.Graph, trial int) runner.Tester { return protocol.ExactBaseline{} },
+					func(g *graph.Graph, trial int) runner.Tester {
+						return protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
+							Tag: fmt.Sprintf("e7u/%d/%d", n, trial)}
+					},
+					func(g *graph.Graph, trial int) runner.Tester {
+						return protocol.SimOblivious{Eps: eps, Delta: 0.1,
+							Tag: fmt.Sprintf("e7s/%d/%d", n, trial)}
 					})
-				if err != nil {
-					return nil, err
-				}
-				se, su, ss := stats.Summarize(res[0].bits), stats.Summarize(res[1].bits), stats.Summarize(res[2].bits)
-				t.AddRow(n, d, 4, se.Mean, su.Mean, ss.Mean, se.Mean/su.Mean, se.Mean/ss.Mean)
+			}
+			aggs, err := sweep(ctx, cfg, plans)
+			if err != nil {
+				return nil, err
+			}
+			for pi, p := range points {
+				se, su, ss := aggs[pi][0].Summary(), aggs[pi][1].Summary(), aggs[pi][2].Summary()
+				t.AddRow(p[0], p[1], 4, se.Mean, su.Mean, ss.Mean, se.Mean/su.Mean, se.Mean/ss.Mean)
 			}
 			t.AddNote("testing wins and its advantage grows with nd; exact cost is Θ(k·nd·log n) by construction")
 			return t, nil
@@ -329,7 +327,7 @@ func e8Blackboard() Experiment {
 		ID:         "E8",
 		Title:      "Coordinator vs blackboard unrestricted tester",
 		PaperClaim: "Thm 3.23: blackboard model gives Õ((nd)^{1/4} + k²) (factor-k saving on edges)",
-		Run: func(cfg RunConfig) (*Table, error) {
+		Run: func(ctx context.Context, cfg RunConfig) (*Table, error) {
 			t := &Table{Columns: []string{"k", "n", "d", "coord_bits", "board_bits", "coord/board"}}
 			const n, d, eps = 1024, 8.0, 0.2
 			trials := cfg.trials(3)
@@ -337,24 +335,26 @@ func e8Blackboard() Experiment {
 			if cfg.Quick {
 				ks = []int{2, 8}
 			}
-			for _, k := range ks {
+			plans := make([]runner.Plan, len(ks))
+			for ki, k := range ks {
 				// Coordinator and blackboard variants share each trial's
 				// instance and topology.
-				res, err := measureMulti(cfg, trials, farGen(n, d, eps),
-					partition.Duplicate{Q: 0.5}, k, []func(g *graph.Graph, trial int) tester{
-						func(g *graph.Graph, trial int) tester {
-							return protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
-								Tag: fmt.Sprintf("e8c/%d/%d", k, trial)}
-						},
-						func(g *graph.Graph, trial int) tester {
-							return protocol.UnrestrictedBlackboard{Eps: eps, AvgDegree: g.AvgDegree(),
-								Tag: fmt.Sprintf("e8b/%d/%d", k, trial)}
-						},
+				plans[ki] = planFor(cfg, trials, farGen(n, d, eps), partition.Duplicate{Q: 0.5}, k,
+					func(g *graph.Graph, trial int) runner.Tester {
+						return protocol.Unrestricted{Eps: eps, AvgDegree: g.AvgDegree(),
+							Tag: fmt.Sprintf("e8c/%d/%d", k, trial)}
+					},
+					func(g *graph.Graph, trial int) runner.Tester {
+						return protocol.UnrestrictedBlackboard{Eps: eps, AvgDegree: g.AvgDegree(),
+							Tag: fmt.Sprintf("e8b/%d/%d", k, trial)}
 					})
-				if err != nil {
-					return nil, err
-				}
-				sc, sb := stats.Summarize(res[0].bits), stats.Summarize(res[1].bits)
+			}
+			aggs, err := sweep(ctx, cfg, plans)
+			if err != nil {
+				return nil, err
+			}
+			for ki, k := range ks {
+				sc, sb := aggs[ki][0].Summary(), aggs[ki][1].Summary()
 				t.AddRow(k, n, d, sc.Mean, sb.Mean, sc.Mean/sb.Mean)
 			}
 			t.AddNote("the coordinator/blackboard ratio grows with k, as predicted")
@@ -369,7 +369,7 @@ func e9ApproxDegree() Experiment {
 		ID:         "E9",
 		Title:      "Degree approximation: duplication vs no-duplication",
 		PaperClaim: "Thm 3.1: Õ(k) with duplication; Lemma 3.2: O(k·log log d) without",
-		Run: func(cfg RunConfig) (*Table, error) {
+		Run: func(ctx context.Context, cfg RunConfig) (*Table, error) {
 			t := &Table{Columns: []string{"true_deg", "k", "dup_bits", "dup_est", "nodup_bits", "nodup_est"}}
 			rng := rand.New(rand.NewSource(int64(cfg.Seed) + 1))
 			g := graph.BucketStress(graph.BucketStressParams{N: 4000, Levels: 5, HubsPer: 2, TriLevel: 1}, rng)
@@ -385,49 +385,62 @@ func e9ApproxDegree() Experiment {
 				}
 			}
 			degs := []int{2, 6, 18, 54, 162}
-			for _, wantDeg := range degs {
+			type row struct {
+				ok                 bool
+				dupBits, nodupBits int64
+				dupEst, nodupEst   float64
+			}
+			rows, err := runner.Map(ctx, cfg.jobs(), len(degs), func(ctx context.Context, di int) (row, error) {
+				wantDeg := degs[di]
 				v, ok := targets[wantDeg]
 				if !ok {
-					continue
+					return row{}, nil
 				}
+				var r row
+				r.ok = true
 				shared := xrand.New(cfg.Seed + uint64(wantDeg))
 				// Duplication-tolerant estimator on a duplicated partition.
 				pd := partition.Duplicate{Q: 0.5}.Split(g, k, shared)
-				var dupBits int64
-				var dupEst float64
-				_, err := comm.Run(context.Background(),
+				_, err := comm.Run(ctx,
 					comm.Config{N: g.N(), Inputs: pd.Inputs, Shared: shared},
 					func(ctx context.Context, c *comm.Coordinator) error {
 						est, err := blocks.ApproxDegree(ctx, c, v, blocks.DefaultApprox(fmt.Sprintf("e9/%d", v)))
 						if err != nil {
 							return err
 						}
-						dupEst = est
-						dupBits = c.Stats().TotalBits
+						r.dupEst = est
+						r.dupBits = c.Stats().TotalBits
 						return nil
 					}, comm.ServeLoop(blocks.Handle))
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
 				// No-duplication estimator on a disjoint partition.
 				pn := partition.Disjoint{}.Split(g, k, shared)
-				var nodupBits int64
-				var nodupEst float64
-				_, err = comm.Run(context.Background(),
+				_, err = comm.Run(ctx,
 					comm.Config{N: g.N(), Inputs: pn.Inputs, Shared: shared},
 					func(ctx context.Context, c *comm.Coordinator) error {
 						est, err := blocks.ApproxDegreeNoDup(ctx, c, v, 3)
 						if err != nil {
 							return err
 						}
-						nodupEst = est
-						nodupBits = c.Stats().TotalBits
+						r.nodupEst = est
+						r.nodupBits = c.Stats().TotalBits
 						return nil
 					}, comm.ServeLoop(blocks.Handle))
 				if err != nil {
-					return nil, err
+					return row{}, err
 				}
-				t.AddRow(wantDeg, k, dupBits, dupEst, nodupBits, nodupEst)
+				return r, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for di, r := range rows {
+				if !r.ok {
+					continue
+				}
+				t.AddRow(degs[di], k, r.dupBits, r.dupEst, r.nodupBits, r.nodupEst)
 			}
 			t.AddNote("no-dup costs O(k·log log d) bits and is deterministic; dup pays the sampling rounds")
 			return t, nil
@@ -442,44 +455,58 @@ func e10NoDup() Experiment {
 		ID:         "E10",
 		Title:      "Simultaneous testers: duplication vs none",
 		PaperClaim: "Cor 3.25/3.27: total cost O((nd)^{1/3}) resp. O(√n) without duplication (k-fold saving)",
-		Run: func(cfg RunConfig) (*Table, error) {
+		Run: func(ctx context.Context, cfg RunConfig) (*Table, error) {
 			t := &Table{Columns: []string{"protocol", "partition", "n", "d", "k", "total_bits", "max_player_bits"}}
 			const n, eps, k = 4096, 0.2, 8
 			trials := cfg.trials(3)
+			type block struct {
+				proto string
+				d     float64
+				pt    partition.Partitioner
+			}
+			var bs []block
 			for _, tc := range []struct {
 				proto string
 				d     float64
 			}{{"sim-low", 8}, {"sim-high", 128}} {
 				for _, pt := range []partition.Partitioner{partition.Disjoint{}, partition.All{}} {
-					var totals, maxs []float64
-					for trial := 0; trial < trials; trial++ {
-						seed := cfg.Seed*31 + uint64(trial)
-						rng := rand.New(rand.NewSource(int64(seed)))
-						g := graph.FarWithDegree(graph.FarParams{N: n, D: tc.d, Eps: eps}, rng).G
-						shared := xrand.New(seed)
-						p := pt.Split(g, k, shared)
-						top, err := comm.NewTopology(g.N(), p.Inputs, shared)
-						if err != nil {
-							return nil, err
-						}
-						var tst tester
-						if tc.proto == "sim-low" {
-							tst = protocol.SimLow{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
-								Tag: fmt.Sprintf("e10/%s/%d", pt.Name(), trial)}
-						} else {
-							tst = protocol.SimHigh{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
-								Tag: fmt.Sprintf("e10/%s/%d", pt.Name(), trial)}
-						}
-						res, err := tst.RunOn(context.Background(), top)
-						if err != nil {
-							return nil, err
-						}
-						totals = append(totals, float64(res.Stats.TotalBits))
-						maxs = append(maxs, float64(res.Stats.MaxPlayerBits()))
-					}
-					t.AddRow(tc.proto, pt.Name(), n, tc.d, k,
-						stats.Summarize(totals).Mean, stats.Summarize(maxs).Mean)
+					bs = append(bs, block{tc.proto, tc.d, pt})
 				}
+			}
+			plans := make([]runner.Plan, len(bs))
+			for bi, b := range bs {
+				plans[bi] = runner.Plan{
+					Trials: trials,
+					Seed:   func(trial int) uint64 { return cfg.Seed*31 + uint64(trial) },
+					Gen: func(rng *rand.Rand) *graph.Graph {
+						return graph.FarWithDegree(graph.FarParams{N: n, D: b.d, Eps: eps}, rng).G
+					},
+					Partitioner: b.pt,
+					K:           k,
+					Testers: []func(g *graph.Graph, trial int) runner.Tester{
+						func(g *graph.Graph, trial int) runner.Tester {
+							if b.proto == "sim-low" {
+								return protocol.SimLow{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
+									Tag: fmt.Sprintf("e10/%s/%d", b.pt.Name(), trial)}
+							}
+							return protocol.SimHigh{Eps: eps, AvgDegree: g.AvgDegree(), Delta: 0.1,
+								Tag: fmt.Sprintf("e10/%s/%d", b.pt.Name(), trial)}
+						},
+					},
+				}
+			}
+			res, err := runner.RunPlans(ctx, cfg.jobs(), plans)
+			if err != nil {
+				return nil, err
+			}
+			for bi, b := range bs {
+				var totals, maxs []float64
+				for _, trial := range res[bi] {
+					totals = append(totals, float64(trial[0].Bits))
+					maxs = append(maxs, float64(trial[0].MaxPlayerBits))
+				}
+				t.AddRow(b.proto, b.pt.Name(), n, b.d, k,
+					stats.Summarize(totals).Mean, stats.Summarize(maxs).Mean)
 			}
 			t.AddNote("disjoint total ≈ all-duplicated total / k (each sampled edge sent once instead of k times)")
 			return t, nil

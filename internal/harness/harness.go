@@ -12,10 +12,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+
+	"tricomm/internal/harness/runner"
 )
 
 // Table is a rendered experiment result.
@@ -124,7 +127,13 @@ type RunConfig struct {
 	Quick bool
 	// Trials overrides the per-point repetition count when positive.
 	Trials int
+	// Jobs is the trial worker-pool width; ≤ 0 means GOMAXPROCS. Tables
+	// are bit-identical at every value (see internal/harness/runner).
+	Jobs int
 }
+
+// jobs returns the normalized worker count.
+func (c RunConfig) jobs() int { return runner.Jobs(c.Jobs) }
 
 func (c RunConfig) trials(def int) int {
 	if c.Trials > 0 {
@@ -144,8 +153,9 @@ type Experiment struct {
 	Title string
 	// PaperClaim cites what is being reproduced.
 	PaperClaim string
-	// Run executes the experiment.
-	Run func(cfg RunConfig) (*Table, error)
+	// Run executes the experiment. The context cancels the trial workers
+	// (SIGINT in cmd/benchtable); cancellation surfaces as ctx.Err().
+	Run func(ctx context.Context, cfg RunConfig) (*Table, error)
 }
 
 // registry is populated by the experiment files' register calls at

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -101,7 +102,7 @@ func TestQuickExperimentsRun(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s missing", id)
 		}
-		tb, err := exp.Run(cfg)
+		tb, err := exp.Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -122,7 +123,7 @@ func TestProbeExperimentsRun(t *testing.T) {
 	cfg := RunConfig{Seed: 11, Quick: true, Trials: 4}
 	for _, id := range []string{"E3", "E4"} {
 		exp, _ := Lookup(id)
-		tb, err := exp.Run(cfg)
+		tb, err := exp.Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

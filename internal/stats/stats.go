@@ -54,7 +54,10 @@ func Summarize(xs []float64) Summary {
 }
 
 // CI95 returns the half-width of the normal-approximation 95% confidence
-// interval for the mean.
+// interval for the mean. It is meant for the continuous bit-count
+// samples; for success *rates* with small counts (the probe threshold
+// experiments) the normal approximation misbehaves near 0 and 1 — use
+// Wilson there, which stays inside [0,1].
 func (s Summary) CI95() float64 {
 	if s.N < 2 {
 		return 0
@@ -104,13 +107,82 @@ func Wilson(successes, trials int) (lo, hi float64) {
 	center := (p + z*z/(2*n)) / denom
 	half := z / denom * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
 	lo, hi = center-half, center+half
-	if lo < 0 {
+	// At the boundaries center and half are equal by construction; clamp
+	// exactly so 0/n reports lo = 0 (not a ±1-ulp residual) and n/n hi = 1.
+	if successes == 0 || lo < 0 {
 		lo = 0
 	}
-	if hi > 1 {
+	if successes == trials || hi > 1 {
 		hi = 1
 	}
 	return lo, hi
+}
+
+// TrialAggregator folds one tester's per-trial outcomes over a sweep
+// point into the aggregates the experiment tables report: the per-trial
+// total bits (for Summarize), the detection count, and the mean per-phase
+// bit attribution. Trials must be added in trial order — the phase means
+// are running sums of v/trials, so the floating-point result depends on
+// fold order, and trial order is what the harness's determinism contract
+// (identical tables at any worker count) pins down.
+type TrialAggregator struct {
+	trials int
+	// Bits is the per-trial total communication, in trial order.
+	Bits []float64
+	// Found counts the trials that exhibited a triangle.
+	Found int
+	// PhaseMeans is the mean per-phase bit attribution across trials.
+	PhaseMeans map[string]float64
+}
+
+// NewTrialAggregator returns an aggregator expecting the given number of
+// trials (the divisor for phase means).
+func NewTrialAggregator(trials int) *TrialAggregator {
+	return &TrialAggregator{trials: trials, PhaseMeans: map[string]float64{}}
+}
+
+// Add folds one trial's outcome.
+func (a *TrialAggregator) Add(totalBits int64, found bool, phases map[string]int64) {
+	a.Bits = append(a.Bits, float64(totalBits))
+	if found {
+		a.Found++
+	}
+	for name, v := range phases {
+		a.PhaseMeans[name] += float64(v) / float64(a.trials)
+	}
+}
+
+// Summary summarizes the per-trial totals.
+func (a *TrialAggregator) Summary() Summary { return Summarize(a.Bits) }
+
+// RateAggregator folds per-trial successes and costs for the probe
+// experiments: a success count (for Wilson intervals) and a running mean
+// of per-trial bits, accumulated in trial order as sum of v/trials.
+type RateAggregator struct {
+	trials int
+	// Successes counts successful trials.
+	Successes int
+	// MeanBits is the mean per-trial cost.
+	MeanBits float64
+}
+
+// NewRateAggregator returns an aggregator expecting the given number of
+// trials.
+func NewRateAggregator(trials int) *RateAggregator {
+	return &RateAggregator{trials: trials}
+}
+
+// Add folds one trial's outcome.
+func (a *RateAggregator) Add(success bool, bits float64) {
+	if success {
+		a.Successes++
+	}
+	a.MeanBits += bits / float64(a.trials)
+}
+
+// Wilson returns the Wilson-score 95% interval for the success rate.
+func (a *RateAggregator) Wilson() (lo, hi float64) {
+	return Wilson(a.Successes, a.trials)
 }
 
 // PowerFit is the result of fitting y ≈ A·x^Exponent on log-log axes.

@@ -74,6 +74,97 @@ func TestWilson(t *testing.T) {
 	}
 }
 
+// TestWilsonReferenceValues pins the Wilson 95% interval against
+// externally computed reference values (z = 1.96; cf. R binom::
+// binom.wilson and the worked examples in Brown–Cai–DasGupta 2001).
+// These are the small-count regimes the probe threshold experiments
+// (E3/E4/E6) live in, where the normal approximation collapses to empty
+// or out-of-range intervals near rates 0 and 1.
+func TestWilsonReferenceValues(t *testing.T) {
+	cases := []struct {
+		successes, trials int
+		lo, hi            float64
+	}{
+		{0, 10, 0.0000, 0.2775},
+		{1, 10, 0.0179, 0.4042},
+		{5, 10, 0.2366, 0.7634},
+		{8, 10, 0.4902, 0.9433},
+		{10, 10, 0.7225, 1.0000},
+		{20, 40, 0.3520, 0.6480},
+		{1, 20, 0.0089, 0.2359},
+	}
+	const tol = 5e-4
+	for _, c := range cases {
+		lo, hi := Wilson(c.successes, c.trials)
+		if math.Abs(lo-c.lo) > tol || math.Abs(hi-c.hi) > tol {
+			t.Errorf("Wilson(%d,%d) = [%.4f, %.4f], want [%.4f, %.4f]",
+				c.successes, c.trials, lo, hi, c.lo, c.hi)
+		}
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("Wilson(%d,%d) = [%v, %v] malformed", c.successes, c.trials, lo, hi)
+		}
+	}
+}
+
+func TestTrialAggregator(t *testing.T) {
+	a := NewTrialAggregator(4)
+	a.Add(100, true, map[string]int64{"edges": 40, "candidates": 60})
+	a.Add(200, false, map[string]int64{"edges": 80, "candidates": 120})
+	a.Add(300, true, nil)
+	a.Add(400, true, map[string]int64{"edges": 120})
+	if a.Found != 3 {
+		t.Fatalf("Found = %d, want 3", a.Found)
+	}
+	if got := a.Summary().Mean; got != 250 {
+		t.Fatalf("mean = %v, want 250", got)
+	}
+	if got := a.PhaseMeans["edges"]; math.Abs(got-60) > 1e-12 {
+		t.Fatalf("edges mean = %v, want 60", got)
+	}
+	if got := a.PhaseMeans["candidates"]; math.Abs(got-45) > 1e-12 {
+		t.Fatalf("candidates mean = %v, want 45", got)
+	}
+}
+
+// TestTrialAggregatorMatchesSequentialFold checks that the aggregator's
+// phase means reproduce bit-for-bit the harness's historical running-sum
+// fold (v/trials added in trial order) — the determinism contract the
+// parallel runner relies on.
+func TestTrialAggregatorMatchesSequentialFold(t *testing.T) {
+	const trials = 7
+	vals := []int64{313, 11, 271828, 9, 65537, 42, 1}
+	want := 0.0
+	for _, v := range vals {
+		want += float64(v) / float64(trials)
+	}
+	a := NewTrialAggregator(trials)
+	for _, v := range vals {
+		a.Add(v, false, map[string]int64{"p": v})
+	}
+	if got := a.PhaseMeans["p"]; got != want {
+		t.Fatalf("fold mismatch: %v != %v", got, want)
+	}
+}
+
+func TestRateAggregator(t *testing.T) {
+	a := NewRateAggregator(4)
+	a.Add(true, 10)
+	a.Add(false, 20)
+	a.Add(true, 30)
+	a.Add(false, 40)
+	if a.Successes != 2 {
+		t.Fatalf("successes = %d", a.Successes)
+	}
+	if math.Abs(a.MeanBits-25) > 1e-12 {
+		t.Fatalf("mean bits = %v", a.MeanBits)
+	}
+	lo, hi := a.Wilson()
+	wlo, whi := Wilson(2, 4)
+	if lo != wlo || hi != whi {
+		t.Fatalf("Wilson mismatch: [%v,%v] vs [%v,%v]", lo, hi, wlo, whi)
+	}
+}
+
 func TestFitPowerExact(t *testing.T) {
 	// y = 2·x^1.5 exactly.
 	var xs, ys []float64

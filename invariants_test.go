@@ -1,0 +1,174 @@
+package tricomm
+
+// Property/invariant suite at the facade layer: for every protocol ×
+// split scheme, (a) soundness — a reported witness is always a real
+// triangle of the union graph, and a triangle-free graph is never
+// rejected (the one-sided error guarantee is structural, not
+// probabilistic), and (b) accounting — Report.PhaseBits values are
+// disjoint by construction of the engine meter and must sum exactly to
+// Report.Bits, and per-player traffic never exceeds the total.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+var invariantProtocols = []struct {
+	name string
+	p    Protocol
+}{
+	{"interactive", Interactive},
+	{"blackboard", InteractiveBlackboard},
+	{"sim-low", SimultaneousLow},
+	{"sim-high", SimultaneousHigh},
+	{"sim-oblivious", SimultaneousOblivious},
+	{"exact", Exact},
+}
+
+var invariantSchemes = []struct {
+	name string
+	s    SplitScheme
+}{
+	{"disjoint", SplitDisjoint},
+	{"duplicate", SplitDuplicate},
+	{"byvertex", SplitByVertex},
+	{"all", SplitAll},
+}
+
+// isTriangleOf reports whether w is a genuine triangle of g.
+func isTriangleOf(g *Graph, w Triangle) bool {
+	if w.A == w.B || w.B == w.C || w.A == w.C {
+		return false
+	}
+	return g.HasEdge(w.A, w.B) && g.HasEdge(w.B, w.C) && g.HasEdge(w.A, w.C)
+}
+
+// checkAccounting verifies the PhaseBits/Bits/PerPlayerBits relations.
+func checkAccounting(t *testing.T, rep Report) {
+	t.Helper()
+	if rep.Bits < 0 {
+		t.Fatalf("negative total bits %d", rep.Bits)
+	}
+	if rep.PhaseBits != nil {
+		var sum int64
+		for phase, v := range rep.PhaseBits {
+			if v < 0 {
+				t.Fatalf("phase %q has negative bits %d", phase, v)
+			}
+			sum += v
+		}
+		if sum != rep.Bits {
+			t.Fatalf("phase bits sum %d != total bits %d (phases %v)", sum, rep.Bits, rep.PhaseBits)
+		}
+	}
+	var perSum int64
+	for j, v := range rep.PerPlayerBits {
+		if v < 0 {
+			t.Fatalf("player %d has negative bits %d", j, v)
+		}
+		perSum += v
+	}
+	if perSum > rep.Bits {
+		t.Fatalf("per-player bits sum %d exceeds total %d", perSum, rep.Bits)
+	}
+}
+
+// TestInvariantSoundnessFarGraphs runs every protocol on every split of
+// an ε-far graph: any reported witness must be a real triangle of the
+// union of the players' inputs, and the accounting must balance. (The
+// union equals the split graph for all schemes — that containment is
+// fuzzed separately in internal/partition.)
+func TestInvariantSoundnessFarGraphs(t *testing.T) {
+	const (
+		n   = 192
+		d   = 8.0
+		eps = 0.25
+		k   = 4
+	)
+	for _, seed := range []uint64{3, 17} {
+		g, certEps := FarGraph(n, d, eps, int64(seed))
+		for _, sc := range invariantSchemes {
+			cl, err := Split(g, k, sc.s, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			union := cl.Union()
+			for _, pr := range invariantProtocols {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", pr.name, sc.name, seed), func(t *testing.T) {
+					rep, err := cl.Test(context.Background(), Options{
+						Protocol: pr.p, Eps: certEps, AvgDegree: g.AvgDegree(),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !rep.TriangleFree && !isTriangleOf(union, rep.Witness) {
+						t.Fatalf("witness %v is not a triangle of the union graph", rep.Witness)
+					}
+					checkAccounting(t, rep)
+				})
+			}
+		}
+	}
+}
+
+// TestInvariantTriangleFreeNeverRejected is the structural half of
+// one-sided error: on bipartite (hence triangle-free) inputs, every
+// protocol under every split scheme must answer triangle-free — there is
+// no randomness budget that excuses a false rejection.
+func TestInvariantTriangleFreeNeverRejected(t *testing.T) {
+	const (
+		n = 192
+		d = 8.0
+		k = 4
+	)
+	for _, seed := range []uint64{5, 23} {
+		g := BipartiteGraph(n, d, int64(seed))
+		for _, sc := range invariantSchemes {
+			cl, err := Split(g, k, sc.s, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pr := range invariantProtocols {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", pr.name, sc.name, seed), func(t *testing.T) {
+					rep, err := cl.Test(context.Background(), Options{
+						Protocol: pr.p, Eps: 0.2, AvgDegree: g.AvgDegree(),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !rep.TriangleFree {
+						t.Fatalf("triangle-free graph rejected with witness %v", rep.Witness)
+					}
+					checkAccounting(t, rep)
+				})
+			}
+		}
+	}
+}
+
+// TestInvariantRepeatedTestsDeterministic pins that Test is a pure
+// function of (cluster seed, options): re-running any protocol on the
+// same cluster reproduces the identical report.
+func TestInvariantRepeatedTestsDeterministic(t *testing.T) {
+	g, certEps := FarGraph(128, 6, 0.25, 9)
+	cl, err := Split(g, 3, SplitDuplicate, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range invariantProtocols {
+		opts := Options{Protocol: pr.p, Eps: certEps, AvgDegree: g.AvgDegree()}
+		a, err := cl.Test(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cl.Test(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TriangleFree != b.TriangleFree || a.Witness != b.Witness ||
+			a.Bits != b.Bits || a.Rounds != b.Rounds {
+			t.Fatalf("%s: repeated Test diverged: %+v vs %+v", pr.name, a, b)
+		}
+	}
+}
