@@ -41,6 +41,7 @@ func reportBits(b *testing.B, totalBits int64) {
 // BenchmarkTable1_Unrestricted measures row 1: the interactive tester,
 // Õ(k·(nd)^{1/4} + k²) bits.
 func BenchmarkTable1_Unrestricted(b *testing.B) {
+	b.ReportAllocs()
 	const n, d, k = 1024, 8.0, 4
 	var bits int64
 	for i := 0; i < b.N; i++ {
@@ -58,6 +59,7 @@ func BenchmarkTable1_Unrestricted(b *testing.B) {
 
 // BenchmarkTable1_SimLow measures row 2 (low-degree side): Õ(k·√n).
 func BenchmarkTable1_SimLow(b *testing.B) {
+	b.ReportAllocs()
 	const n, d, k = 4096, 8.0, 8
 	var bits int64
 	for i := 0; i < b.N; i++ {
@@ -76,6 +78,7 @@ func BenchmarkTable1_SimLow(b *testing.B) {
 // BenchmarkTable1_SimHigh measures row 2 (high-degree side):
 // Õ(k·(nd)^{1/3}).
 func BenchmarkTable1_SimHigh(b *testing.B) {
+	b.ReportAllocs()
 	const n, k = 4096, 8
 	d := 2 * math.Sqrt(n)
 	var bits int64
@@ -95,6 +98,7 @@ func BenchmarkTable1_SimHigh(b *testing.B) {
 // BenchmarkTable1_SimOblivious measures §3.4.3: the degree-oblivious
 // one-round tester.
 func BenchmarkTable1_SimOblivious(b *testing.B) {
+	b.ReportAllocs()
 	const n, d, k = 4096, 8.0, 8
 	var bits int64
 	for i := 0; i < b.N; i++ {
@@ -114,6 +118,7 @@ func BenchmarkTable1_SimOblivious(b *testing.B) {
 // strategy at the n^{1/4}-scale budget on µ (reported metric: success
 // rate at that budget).
 func BenchmarkTable1_OneWayProbe(b *testing.B) {
+	b.ReportAllocs()
 	const nPart, gamma, budget = 250, 2.0, 160
 	wins := 0
 	for i := 0; i < b.N; i++ {
@@ -135,6 +140,7 @@ func BenchmarkTable1_OneWayProbe(b *testing.B) {
 // strategy at the same budget, whose success rate is far lower — the
 // measured separation.
 func BenchmarkTable1_SimProbe(b *testing.B) {
+	b.ReportAllocs()
 	const nPart, gamma, budget = 250, 2.0, 160
 	wins := 0
 	for i := 0; i < b.N; i++ {
@@ -155,6 +161,7 @@ func BenchmarkTable1_SimProbe(b *testing.B) {
 // BenchmarkTable1_Symmetrization measures the Theorem 4.15 accounting:
 // derived one-way cost ≈ (2/k)·simultaneous cost.
 func BenchmarkTable1_Symmetrization(b *testing.B) {
+	b.ReportAllocs()
 	const k = 8
 	rng := rand.New(rand.NewSource(5))
 	inst := lowerbound.SampleMu(lowerbound.MuParams{NPart: 80, Gamma: 2}, rng)
@@ -180,6 +187,7 @@ func BenchmarkTable1_Symmetrization(b *testing.B) {
 // BenchmarkTable1_BHM measures row 6: solving Boolean Hidden Matching
 // through the reduction with the Õ(k√n) tester.
 func BenchmarkTable1_BHM(b *testing.B) {
+	b.ReportAllocs()
 	const nBHM = 256
 	var bits int64
 	correct := 0
@@ -206,6 +214,7 @@ func BenchmarkTable1_BHM(b *testing.B) {
 // BenchmarkSummary_TestingVsExact measures the §5 headline: testing vs
 // exact detection on the same instances.
 func BenchmarkSummary_TestingVsExact(b *testing.B) {
+	b.ReportAllocs()
 	const n, d, k = 2048, 16.0, 4
 	var exactBits, testBits int64
 	for i := 0; i < b.N; i++ {
@@ -231,6 +240,7 @@ func BenchmarkSummary_TestingVsExact(b *testing.B) {
 // BenchmarkAblation_Blackboard measures Theorem 3.23: the blackboard
 // variant against the coordinator-model interactive tester.
 func BenchmarkAblation_Blackboard(b *testing.B) {
+	b.ReportAllocs()
 	const n, d, k = 1024, 8.0, 8
 	var coordBits, boardBits int64
 	for i := 0; i < b.N; i++ {
@@ -260,6 +270,7 @@ func BenchmarkAblation_Blackboard(b *testing.B) {
 // BenchmarkBlocks_ApproxDegree measures the Theorem 3.1 building block
 // under heavy duplication.
 func BenchmarkBlocks_ApproxDegree(b *testing.B) {
+	b.ReportAllocs()
 	g := RandomGraph(2048, 32, 3)
 	cluster, err := Split(g, 8, SplitAll, 11)
 	if err != nil {
@@ -282,6 +293,7 @@ func BenchmarkBlocks_ApproxDegree(b *testing.B) {
 // BenchmarkAblation_NoDup measures Corollaries 3.25/3.27: disjoint inputs
 // vs maximal duplication for the one-round testers.
 func BenchmarkAblation_NoDup(b *testing.B) {
+	b.ReportAllocs()
 	const n, d, k = 4096, 8.0, 8
 	g, _ := FarGraph(n, d, 0.2, 7)
 	var dupBits, disBits int64
@@ -319,12 +331,14 @@ func BenchmarkAblation_NoDup(b *testing.B) {
 // communication are identical in both arms; the gap is pure view
 // construction.
 func BenchmarkSessionReuse(b *testing.B) {
+	b.ReportAllocs()
 	const n, d, k = 16384, 8.0, 8
 	g, _ := FarGraph(n, d, 0.2, 3)
 	opts := Options{Protocol: SimultaneousLow, Eps: 0.2, AvgDegree: d}
 	ctx := context.Background()
 
 	b.Run("cached-views", func(b *testing.B) {
+		b.ReportAllocs()
 		cluster, err := Split(g, k, SplitDisjoint, 5)
 		if err != nil {
 			b.Fatal(err)
@@ -341,6 +355,7 @@ func BenchmarkSessionReuse(b *testing.B) {
 		}
 	})
 	b.Run("rebuild-views", func(b *testing.B) {
+		b.ReportAllocs()
 		cluster, err := Split(g, k, SplitDisjoint, 5)
 		if err != nil {
 			b.Fatal(err)
@@ -359,6 +374,7 @@ func BenchmarkSessionReuse(b *testing.B) {
 // BenchmarkStreaming_Probe measures the §4.2.2 corollary: success of the
 // space-bounded streaming detector at the n^{1/4} space scale.
 func BenchmarkStreaming_Probe(b *testing.B) {
+	b.ReportAllocs()
 	const nPart, gamma, capArms = 250, 2.0, 32
 	wins := 0
 	var space int

@@ -1,0 +1,271 @@
+// Command benchjson measures the repository's core benchmarks — graph
+// construction and membership, triangle machinery, and one end-to-end
+// protocol session — and emits the results as JSON: ns/op, allocs/op,
+// bytes/op, and (where the benchmark meters communication) bits/op.
+//
+// It exists for the BENCH_N.json perf trajectory: CI runs it with a short
+// -benchtime as a smoke artifact, and the numbers committed in
+// BENCH_3.json were produced by it (see EXPERIMENTS.md for the
+// wall-clock sweep table).
+//
+// Examples:
+//
+//	benchjson                     # ~1s per benchmark, JSON on stdout
+//	benchjson -benchtime 100x     # fixed iteration count (CI smoke)
+//	benchjson -o BENCH.json       # write to a file
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	tricomm "tricomm"
+	"tricomm/internal/graph"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	BitsOp   float64 `json:"bits_op,omitempty"`
+	N        int     `json:"iterations"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Go        string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out       = flag.String("o", "", "output path (default stdout)")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark budget (duration or Nx count)")
+	)
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return err
+	}
+
+	rep := Report{
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: *benchtime,
+	}
+	for _, bench := range coreBenchmarks() {
+		r := testing.Benchmark(bench.fn)
+		res := Result{
+			Name:     bench.name,
+			NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+			N:        r.N,
+		}
+		if bits, ok := r.Extra["bits/op"]; ok {
+			res.BitsOp = bits
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(os.Stderr, "%-28s %12.1f ns/op %8d allocs/op\n",
+			bench.name, res.NsPerOp, res.AllocsOp)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// coreBenchmarks mirrors the hot-path benchmarks in internal/graph and the
+// facade: the CSR construction and membership paths the perf trajectory
+// tracks, plus one metered protocol session for bits/op.
+func coreBenchmarks() []namedBench {
+	return []namedBench{
+		{"graph/build", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			edges := graph.ErdosRenyi(4096, 0.004, rng).Edges()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				graph.FromEdges(4096, edges)
+			}
+		}},
+		{"graph/has-edge", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			g := graph.ErdosRenyi(10000, 0.001, rng)
+			const q = 1 << 12
+			us := make([]int32, q)
+			vs := make([]int32, q)
+			for i := range us {
+				us[i] = int32(i * 131 % 10000)
+				vs[i] = int32((i*7 + 1) % 10000)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.HasEdge(int(us[i%q]), int(vs[i%q]))
+			}
+		}},
+		{"graph/has-edge-dense", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(6))
+			g := graph.ErdosRenyi(2048, 0.05, rng)
+			const q = 1 << 12
+			us := make([]int32, q)
+			vs := make([]int32, q)
+			for i := range us {
+				us[i] = int32(i * 131 % 2048)
+				vs[i] = int32((i*7 + 1) % 2048)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.HasEdge(int(us[i%q]), int(vs[i%q]))
+			}
+		}},
+		{"graph/count-triangles", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			g := graph.ErdosRenyi(2048, 0.01, rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.CountTriangles()
+			}
+		}},
+		{"graph/pack-triangles", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			g := graph.FarWithDegree(graph.FarParams{N: 2048, D: 16, Eps: 0.2}, rng).G
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.PackTriangles()
+			}
+		}},
+		{"graph/disjoint-vees", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			g := graph.FarWithDegree(graph.FarParams{N: 2048, D: 16, Eps: 0.2}, rng).G
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for v := 0; v < g.N(); v++ {
+					total += g.DisjointVeeCountAt(v)
+				}
+				if total == 0 {
+					b.Fatal("no vees found")
+				}
+			}
+		}},
+		{"graph/far-with-degree", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(4))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graph.FarWithDegree(graph.FarParams{N: 4096, D: 8, Eps: 0.2}, rng)
+			}
+		}},
+		{"protocol/simlow-session", func(b *testing.B) {
+			g, _ := tricomm.FarGraph(4096, 8, 0.2, 3)
+			cluster, err := tricomm.Split(g, 8, tricomm.SplitDisjoint, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := cluster.Session(tricomm.Options{
+				Protocol: tricomm.SimultaneousLow, Eps: 0.2, AvgDegree: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			var bits int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, terr := s.Test(ctx)
+				if terr != nil {
+					b.Fatal(terr)
+				}
+				bits += rep.Bits
+			}
+			b.ReportMetric(float64(bits)/float64(b.N), "bits/op")
+		}},
+		{"protocol/unrestricted", func(b *testing.B) {
+			g, _ := tricomm.FarGraph(512, 8, 0.2, 11)
+			cluster, err := tricomm.Split(g, 4, tricomm.SplitDisjoint, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := cluster.Session(tricomm.Options{
+				Protocol: tricomm.Interactive, Eps: 0.2, AvgDegree: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			var bits int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, terr := s.Test(ctx)
+				if terr != nil {
+					b.Fatal(terr)
+				}
+				bits += rep.Bits
+			}
+			b.ReportMetric(float64(bits)/float64(b.N), "bits/op")
+		}},
+		{"protocol/exact-baseline", func(b *testing.B) {
+			g, _ := tricomm.FarGraph(1024, 8, 0.2, 17)
+			cluster, err := tricomm.Split(g, 4, tricomm.SplitDisjoint, 17)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := cluster.Session(tricomm.Options{Protocol: tricomm.Exact})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			var bits int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, terr := s.Test(ctx)
+				if terr != nil {
+					b.Fatal(terr)
+				}
+				bits += rep.Bits
+			}
+			b.ReportMetric(float64(bits)/float64(b.N), "bits/op")
+		}},
+	}
+}

@@ -97,7 +97,7 @@ func IsFullVertex(g *graph.Graph, v int, eps float64) bool {
 	if d == 0 {
 		return false
 	}
-	vees := len(g.DisjointVeesAt(v))
+	vees := g.DisjointVeeCountAt(v)
 	return float64(2*vees) >= eps/(12*logN(g.N()))*float64(d)
 }
 

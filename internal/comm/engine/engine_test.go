@@ -268,12 +268,17 @@ func TestMeterPhaseAttribution(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 3 rounds × 3 players × (1 down + 1 up) = 18 bits, split 12/6.
-	if stats.Phases["ping"] != 12 || stats.Phases["pong"] != 6 {
+	if stats.Phase("ping") != 12 || stats.Phase("pong") != 6 {
 		t.Fatalf("phase split = %v, want ping=12 pong=6", stats.Phases)
 	}
+	// Phases must come out in declaration order, not hash order.
+	want := []Phase{{Name: "ping", Bits: 12}, {Name: "pong", Bits: 6}}
+	if !reflect.DeepEqual(stats.Phases, want) {
+		t.Fatalf("phase order = %v, want %v", stats.Phases, want)
+	}
 	var sum int64
-	for _, v := range stats.Phases {
-		sum += v
+	for _, p := range stats.Phases {
+		sum += p.Bits
 	}
 	if sum != stats.TotalBits {
 		t.Fatalf("phases sum %d != total %d", sum, stats.TotalBits)

@@ -99,9 +99,27 @@ type Stats struct {
 	Messages int64
 	// Rounds is the number of protocol rounds the coordinator declared.
 	Rounds int64
-	// Phases attributes bits to the phases declared via BeginPhase; nil
-	// when the run declared none.
-	Phases map[string]int64
+	// Phases attributes bits to the phases declared via BeginPhase, in
+	// declaration order (deterministic, unlike a map); nil when the run
+	// declared none.
+	Phases []Phase
+}
+
+// Phase is one named phase's bit total.
+type Phase struct {
+	Name string
+	Bits int64
+}
+
+// Phase returns the bit total of the named phase (0 when absent). The
+// phase list is tiny, so a linear scan beats any map.
+func (s Stats) Phase(name string) int64 {
+	for _, p := range s.Phases {
+		if p.Name == name {
+			return p.Bits
+		}
+	}
+	return 0
 }
 
 // MaxPlayerBits reports the largest per-player channel traffic.
@@ -147,9 +165,9 @@ func (m *Meter) read() Stats {
 	s.TotalBits = s.UpBits + s.DownBits + s.CoordinatorBits
 	m.phaseMu.Lock()
 	if len(m.phases) > 0 {
-		s.Phases = make(map[string]int64, len(m.phases))
-		for _, p := range m.phases {
-			s.Phases[p.name] = p.bits.Load()
+		s.Phases = make([]Phase, len(m.phases))
+		for i, p := range m.phases {
+			s.Phases[i] = Phase{Name: p.name, Bits: p.bits.Load()}
 		}
 	}
 	m.phaseMu.Unlock()

@@ -18,6 +18,7 @@ func BenchmarkBuild(b *testing.B) {
 func BenchmarkCountTriangles(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	g := ErdosRenyi(2048, 0.01, rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.CountTriangles()
@@ -27,6 +28,7 @@ func BenchmarkCountTriangles(b *testing.B) {
 func BenchmarkPackTriangles(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	g := FarWithDegree(FarParams{N: 2048, D: 16, Eps: 0.2}, rng).G
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.PackTriangles()
@@ -41,16 +43,82 @@ func BenchmarkFarWithDegree(b *testing.B) {
 	}
 }
 
+// BenchmarkHasEdge measures membership queries alone: the query stream is
+// precomputed so the loop body is one HasEdge call, not index arithmetic.
 func BenchmarkHasEdge(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	g := ErdosRenyi(10000, 0.001, rng)
+	const q = 1 << 12
+	us := make([]int32, q)
+	vs := make([]int32, q)
+	for i := range us {
+		us[i] = int32(i * 131 % 10000)
+		vs[i] = int32((i*7 + 1) % 10000)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.HasEdge(i%10000, (i*7+1)%10000)
+		g.HasEdge(int(us[i%q]), int(vs[i%q]))
+	}
+}
+
+// BenchmarkHasEdgeDense exercises the binary-search path on long rows.
+func BenchmarkHasEdgeDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := ErdosRenyi(2048, 0.05, rng) // avg degree ~100
+	const q = 1 << 12
+	us := make([]int32, q)
+	vs := make([]int32, q)
+	for i := range us {
+		us[i] = int32(i * 131 % 2048)
+		vs[i] = int32((i*7 + 1) % 2048)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(int(us[i%q]), int(vs[i%q]))
+	}
+}
+
+// BenchmarkDisjointVeeCount measures the per-vertex greedy vee matching
+// (the former map[int32]bool scratch, now an epoch-marked slice).
+func BenchmarkDisjointVeeCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := FarWithDegree(FarParams{N: 2048, D: 16, Eps: 0.2}, rng).G
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for v := 0; v < g.N(); v++ {
+			total += g.DisjointVeeCountAt(v)
+		}
+		if total == 0 {
+			b.Fatal("no vees found")
+		}
+	}
+}
+
+// BenchmarkNeighborScan measures flat-row iteration over every vertex.
+func BenchmarkNeighborScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g := ErdosRenyi(4096, 0.004, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.Neighbors(v) {
+				sum += int64(w)
+			}
+		}
+		if sum == 0 {
+			b.Fatal("empty graph")
+		}
 	}
 }
 
 func BenchmarkBehrendGraph(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		NewBehrendGraph(243)
 	}

@@ -1,6 +1,10 @@
 package graph
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"tricomm/internal/marks"
+)
 
 // This file implements ε-farness machinery. A graph is ε-far from
 // triangle-free if at least ε·|E| edges must be removed to destroy every
@@ -14,22 +18,35 @@ import "math/bits"
 // Its size is a lower bound on the distance to triangle-freeness (each
 // packed triangle needs a private removed edge) and at least 1/3 of the
 // maximum packing.
+// Edge usage is tracked on a pooled epoch-marked slice indexed by the
+// edge's arc position in the CSR neighbor array — no hashing, no per-call
+// map.
 func (g *Graph) PackTriangles() []Triangle {
-	used := make(map[uint64]bool)
+	used := marks.Get(len(g.nbr))
 	var out []Triangle
 	g.visitTriangles(func(t Triangle) bool {
-		es := t.Edges()
-		for _, e := range es {
-			if used[edgeKey(g.n, e.U, e.V)] {
-				return true
-			}
+		// Canonical arcs of the triangle (A<B<C, so each pair is already
+		// ordered), resolved lazily: most visited triangles are rejected on
+		// their first edge.
+		ab := g.arcIndex(t.A, t.B)
+		if used.Has(ab) {
+			return true
 		}
-		for _, e := range es {
-			used[edgeKey(g.n, e.U, e.V)] = true
+		ac := g.arcIndex(t.A, t.C)
+		if used.Has(ac) {
+			return true
 		}
+		bc := g.arcIndex(t.B, t.C)
+		if used.Has(bc) {
+			return true
+		}
+		used.Add(ab)
+		used.Add(ac)
+		used.Add(bc)
 		out = append(out, t)
 		return true
 	})
+	marks.Put(used)
 	return out
 }
 
@@ -53,14 +70,20 @@ func (g *Graph) ExactTriangleDistance() int {
 		return 0
 	}
 	// Collect the edges participating in triangles; removals outside this
-	// set are never useful.
-	idx := make(map[uint64]int)
+	// set are never useful. The candidate set is tiny (≤ 24 edges), so a
+	// keyed slice with linear lookup replaces the former map[uint64]int.
 	var edges []Edge
+	indexOf := func(e Edge) int {
+		for i, x := range edges {
+			if x == e {
+				return i
+			}
+		}
+		return -1
+	}
 	for _, t := range tri {
 		for _, e := range t.Edges() {
-			k := edgeKey(g.n, e.U, e.V)
-			if _, ok := idx[k]; !ok {
-				idx[k] = len(edges)
+			if indexOf(e) < 0 {
 				edges = append(edges, e)
 			}
 		}
@@ -74,7 +97,7 @@ func (g *Graph) ExactTriangleDistance() int {
 	for i, t := range tri {
 		var m uint32
 		for _, e := range t.Edges() {
-			m |= 1 << uint(idx[edgeKey(g.n, e.U, e.V)])
+			m |= 1 << uint(indexOf(e))
 		}
 		masks[i] = m
 	}
@@ -131,8 +154,8 @@ func (g *Graph) Analyze(countAll bool) FarnessReport {
 	if g.m > 0 {
 		r.EpsLowerBound = float64(len(pack)) / float64(g.m)
 	}
-	for _, c := range g.DisjointVeeCount() {
-		r.DisjointVees += c
+	for v := 0; v < g.n; v++ {
+		r.DisjointVees += g.DisjointVeeCountAt(v)
 	}
 	if countAll {
 		r.Triangles = g.CountTriangles()

@@ -8,11 +8,21 @@
 // [0, n). Average degree follows the paper's convention d = 2|E|/n, so the
 // total edge count is nd/2 (the paper freely writes "nd edges" up to the
 // factor of two; we keep d = 2m/n exact throughout).
+//
+// Memory layout: a Graph is a CSR (compressed sparse row) core — one flat
+// neighbor array plus per-vertex offsets, so neighbor iteration is a
+// contiguous scan — plus a flat open-addressing edge index (inherited
+// from the Builder's dedup table at Build time) that answers HasEdge in
+// one probe. Three retained arrays total, regardless of n; builder
+// endpoint slices and transpose scratch recycle through pools, so
+// steady-state construction does not allocate scratch from cold. See
+// DESIGN.md ("memory layout") for the full contract.
 package graph
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"sync"
 
 	"tricomm/internal/wire"
 )
@@ -21,35 +31,63 @@ import (
 // the common case.
 type Edge = wire.Edge
 
-// Graph is an immutable simple undirected graph. Build one with a Builder
-// or a generator. All methods are safe for concurrent use after
-// construction.
+// Graph is an immutable simple undirected graph in CSR form: row v is
+// nbr[off[v]:off[v+1]], sorted ascending. Membership queries go through
+// set, a flat open-addressing index over canonical edge keys that the
+// Builder hands over at Build time (it already exists for dedup, so the
+// graph gets O(1) HasEdge for free). Build one with a Builder or a
+// generator. All methods are safe for concurrent use after construction.
 type Graph struct {
 	n   int
 	m   int
-	adj [][]int32       // sorted neighbor lists
-	set map[uint64]bool // canonical edge keys for O(1) membership
+	off []int32 // len n+1; row boundaries into nbr
+	nbr []int32 // len 2m; concatenated sorted neighbor rows
+	set edgeSet // canonical edge keys for O(1) membership
 }
 
-// NewBuilder returns a Builder for a graph on n vertices.
+// row returns the sorted neighbor row of v.
+func (g *Graph) row(v int) []int32 { return g.nbr[g.off[v]:g.off[v+1]] }
+
+// endpointScratch carries the builder's recyclable endpoint slices
+// between Build cycles. Only the slices travel through the pool — never
+// the Builder itself, so a caller's stale pointer stays permanently
+// frozen (AddEdge after Build panics deterministically) instead of
+// aliasing someone else's builder.
+type endpointScratch struct{ us, vs []int32 }
+
+var builderPool = sync.Pool{New: func() any { return new(endpointScratch) }}
+
+// NewBuilder returns a Builder for a graph on n vertices, drawing its
+// endpoint scratch from the build pool.
 func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative vertex count %d", n))
 	}
-	return &Builder{n: n, set: make(map[uint64]bool)}
+	sc := builderPool.Get().(*endpointScratch)
+	return &Builder{n: n, us: sc.us[:0], vs: sc.vs[:0]}
 }
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate
 // insertions and self-loops are ignored. Builder is not safe for
 // concurrent use.
 type Builder struct {
-	n     int
-	set   map[uint64]bool
-	edges []Edge
+	n      int
+	frozen bool
+	set    edgeSet
+	us, vs []int32 // canonical endpoints (us[i] < vs[i]) in insertion order
 }
 
 // N reports the vertex count the builder was created with.
 func (b *Builder) N() int { return b.n }
+
+// grow pre-sizes the builder for about m edges.
+func (b *Builder) grow(m int) {
+	if cap(b.us) < m {
+		b.us = append(make([]int32, 0, m), b.us...)
+		b.vs = append(make([]int32, 0, m), b.vs...)
+	}
+	b.set.grow(m)
+}
 
 // AddEdge inserts the undirected edge {u, v}. Self-loops and duplicates are
 // silently ignored; out-of-range endpoints panic (they indicate a generator
@@ -58,68 +96,205 @@ func (b *Builder) AddEdge(u, v int) {
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
 		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
 	}
+	if b.frozen {
+		panic("graph: Builder used after Build")
+	}
 	if u == v {
 		return
 	}
-	k := edgeKey(b.n, u, v)
-	if b.set[k] {
+	if u > v {
+		u, v = v, u
+	}
+	if !b.set.insert(edgeKey(b.n, u, v)) {
 		return
 	}
-	b.set[k] = true
-	b.edges = append(b.edges, Edge{U: u, V: v}.Canon())
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
 }
 
 // Has reports whether {u,v} has been added.
 func (b *Builder) Has(u, v int) bool {
-	if u == v || u < 0 || v < 0 || u >= b.n || v >= b.n {
+	if b.frozen || u == v || u < 0 || v < 0 || u >= b.n || v >= b.n {
 		return false
 	}
-	return b.set[edgeKey(b.n, u, v)]
+	return b.set.has(edgeKey(b.n, u, v))
 }
 
 // NumEdges reports the number of edges added so far.
-func (b *Builder) NumEdges() int { return len(b.edges) }
+func (b *Builder) NumEdges() int { return len(b.us) }
 
-// Build freezes the builder into an immutable Graph. The builder must not
-// be used afterwards.
+// Build freezes the builder into an immutable Graph and recycles the
+// builder's scratch. The builder must not be used afterwards.
+//
+// Rows come out sorted without any comparison sort: arcs are counting-
+// sorted into unsorted rows (grouped by source), then transposed — row v
+// receives its neighbors in increasing source order, which for a
+// symmetric arc set is exactly the sorted adjacency row. O(n + m), two
+// retained allocations.
 func (b *Builder) Build() *Graph {
-	g := &Graph{n: b.n, m: len(b.edges), set: b.set}
-	deg := make([]int, b.n)
-	for _, e := range b.edges {
-		deg[e.U]++
-		deg[e.V]++
+	m := len(b.us)
+	n := b.n
+	g := &Graph{n: n, m: m, off: make([]int32, n+1), nbr: make([]int32, 2*m)}
+	sc := scratchPool.Get().(*buildScratch)
+	arc := sc.resize(2*m, n+1)
+	// Pass 1: degree counts → row offsets.
+	off := g.off
+	for i := 0; i < m; i++ {
+		off[b.us[i]+1]++
+		off[b.vs[i]+1]++
 	}
-	g.adj = make([][]int32, b.n)
-	for v, d := range deg {
-		g.adj[v] = make([]int32, 0, d)
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
 	}
-	for _, e := range b.edges {
-		g.adj[e.U] = append(g.adj[e.U], int32(e.V))
-		g.adj[e.V] = append(g.adj[e.V], int32(e.U))
+	// Pass 2: scatter arcs into rows grouped by source (rows unsorted).
+	cur := sc.cur
+	copy(cur, off)
+	for i := 0; i < m; i++ {
+		u, v := b.us[i], b.vs[i]
+		arc[cur[u]] = v
+		cur[u]++
+		arc[cur[v]] = u
+		cur[v]++
 	}
-	for v := range g.adj {
-		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i] < g.adj[v][j] })
+	// Pass 3: transpose — appending source s to row t for every arc (s,t)
+	// in increasing s order leaves every row of nbr sorted.
+	copy(cur, off)
+	for s := 0; s < n; s++ {
+		for _, t := range arc[off[s]:off[s+1]] {
+			g.nbr[cur[t]] = int32(s)
+			cur[t]++
+		}
 	}
-	b.set = nil
-	b.edges = nil
+	scratchPool.Put(sc)
+	// The dedup table becomes the graph's membership index; the endpoint
+	// slices go back to the pool. The builder itself is left frozen and
+	// empty — the caller's pointer can never corrupt a future build.
+	g.set = b.set
+	b.set = edgeSet{}
+	builderPool.Put(&endpointScratch{us: b.us, vs: b.vs})
+	b.us, b.vs = nil, nil
+	b.frozen = true
 	return g
 }
+
+// buildScratch is the reusable arena for Build's temporary arc and cursor
+// arrays.
+type buildScratch struct {
+	arc []int32
+	cur []int32
+}
+
+func (s *buildScratch) resize(arcs, rows int) []int32 {
+	if cap(s.arc) < arcs {
+		s.arc = make([]int32, arcs)
+	}
+	if cap(s.cur) < rows {
+		s.cur = make([]int32, rows)
+	}
+	s.arc = s.arc[:arcs]
+	s.cur = s.cur[:rows]
+	return s.arc
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(buildScratch) }}
 
 // FromEdges builds a graph on n vertices from an edge list.
 func FromEdges(n int, edges []Edge) *Graph {
 	b := NewBuilder(n)
+	b.grow(len(edges))
 	for _, e := range edges {
 		b.AddEdge(e.U, e.V)
 	}
 	return b.Build()
 }
 
-// edgeKey maps a canonical edge to a unique uint64 key.
+// edgeKey maps a canonical edge to a unique uint64 key. Keys are ≥ 1
+// (u < v forces v ≥ 1), so 0 is free as the edgeSet empty sentinel.
 func edgeKey(n, u, v int) uint64 {
 	if u > v {
 		u, v = v, u
 	}
 	return uint64(u)*uint64(n) + uint64(v)
+}
+
+// edgeSet is an open-addressing hash set of edge keys — the Builder's
+// dedup table. It replaces map[uint64]bool on the construction hot path:
+// no per-entry allocation, cache-friendly linear probing, and the table is
+// reused across Build cycles through the builder pool.
+type edgeSet struct {
+	tab []uint64 // power-of-two sized; 0 = empty slot
+	len int
+}
+
+// hash64 is a single-round multiply-xorshift mixer (Fibonacci hashing
+// with a finishing fold): cheap enough to vanish next to the table probe,
+// strong enough to break up the u·n+v key structure.
+func hash64(x uint64) uint64 {
+	x *= 0x9e3779b97f4a7c15
+	return x ^ (x >> 29)
+}
+
+func (s *edgeSet) reset() {
+	clear(s.tab)
+	s.len = 0
+}
+
+// grow resizes the table to hold at least want keys below ¾ load.
+func (s *edgeSet) grow(want int) {
+	need := 1 << bits.Len(uint(want+want/2|7))
+	if need <= len(s.tab) {
+		return
+	}
+	old := s.tab
+	s.tab = make([]uint64, need)
+	mask := uint64(need - 1)
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		i := hash64(k) & mask
+		for s.tab[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.tab[i] = k
+	}
+}
+
+// insert adds key and reports whether it was absent.
+func (s *edgeSet) insert(key uint64) bool {
+	if 4*(s.len+1) > 3*len(s.tab) {
+		s.grow(s.len + 1)
+	}
+	mask := uint64(len(s.tab) - 1)
+	i := hash64(key) & mask
+	for {
+		switch s.tab[i] {
+		case 0:
+			s.tab[i] = key
+			s.len++
+			return true
+		case key:
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *edgeSet) has(key uint64) bool {
+	if len(s.tab) == 0 {
+		return false
+	}
+	mask := uint64(len(s.tab) - 1)
+	i := hash64(key) & mask
+	for {
+		switch s.tab[i] {
+		case 0:
+			return false
+		case key:
+			return true
+		}
+		i = (i + 1) & mask
+	}
 }
 
 // N reports the number of vertices.
@@ -137,37 +312,58 @@ func (g *Graph) AvgDegree() float64 {
 }
 
 // Degree reports deg(v).
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 
 // MaxDegree reports the maximum degree over all vertices (0 for an empty
 // graph).
 func (g *Graph) MaxDegree() int {
-	maxd := 0
-	for _, a := range g.adj {
-		if len(a) > maxd {
-			maxd = len(a)
+	maxd := int32(0)
+	for v := 0; v < g.n; v++ {
+		if d := g.off[v+1] - g.off[v]; d > maxd {
+			maxd = d
 		}
 	}
-	return maxd
+	return int(maxd)
 }
 
-// Neighbors returns the sorted neighbor list of v. The returned slice is
-// shared; callers must not modify it.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+// Neighbors returns the sorted neighbor list of v. The returned slice
+// aliases the graph's flat adjacency array; callers must not modify it.
+func (g *Graph) Neighbors(v int) []int32 { return g.row(v) }
 
-// HasEdge reports whether {u,v} ∈ E.
+// HasEdge reports whether {u,v} ∈ E: one probe into the flat edge index.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return false
 	}
-	return g.set[edgeKey(g.n, u, v)]
+	return g.set.has(edgeKey(g.n, u, v))
+}
+
+// arcIndex returns the position of the directed arc u→v in the flat
+// neighbor array, or -1 when {u,v} ∉ E. Arc positions index per-edge
+// scratch (see PackTriangles) without any hashing.
+func (g *Graph) arcIndex(u, v int) int {
+	row := g.row(u)
+	t := int32(v)
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(row) && row[lo] == t {
+		return int(g.off[u]) + lo
+	}
+	return -1
 }
 
 // Edges returns all edges in canonical sorted order.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
 	for u := 0; u < g.n; u++ {
-		for _, w := range g.adj[u] {
+		for _, w := range g.row(u) {
 			if int(w) > u {
 				out = append(out, Edge{U: u, V: int(w)})
 			}
@@ -180,7 +376,7 @@ func (g *Graph) Edges() []Edge {
 // early if fn returns false.
 func (g *Graph) VisitEdges(fn func(Edge) bool) {
 	for u := 0; u < g.n; u++ {
-		for _, w := range g.adj[u] {
+		for _, w := range g.row(u) {
 			if int(w) > u {
 				if !fn(Edge{U: u, V: int(w)}) {
 					return
@@ -192,44 +388,117 @@ func (g *Graph) VisitEdges(fn func(Edge) bool) {
 
 // IncidentEdges returns the edges incident to v, each in canonical form.
 func (g *Graph) IncidentEdges(v int) []Edge {
-	out := make([]Edge, 0, len(g.adj[v]))
-	for _, w := range g.adj[v] {
+	row := g.row(v)
+	out := make([]Edge, 0, len(row))
+	for _, w := range row {
 		out = append(out, Edge{U: v, V: int(w)}.Canon())
 	}
 	return out
 }
 
 // Subgraph returns the subgraph induced by keep (as a graph on the same
-// vertex universe [0,n) with only the induced edges).
+// vertex universe [0,n) with only the induced edges). Rows are filtered
+// copies of g's sorted rows, so no dedup or re-sort is needed.
 func (g *Graph) Subgraph(keep map[int]bool) *Graph {
-	b := NewBuilder(g.n)
-	for u := range keep {
-		if u < 0 || u >= g.n {
+	sub := &Graph{n: g.n, off: make([]int32, g.n+1)}
+	for u := 0; u < g.n; u++ {
+		sub.off[u+1] = sub.off[u]
+		if !keep[u] {
 			continue
 		}
-		for _, w := range g.adj[u] {
-			if int(w) > u && keep[int(w)] {
-				b.AddEdge(u, int(w))
+		for _, w := range g.row(u) {
+			if keep[int(w)] {
+				sub.off[u+1]++
 			}
 		}
 	}
-	return b.Build()
+	sub.nbr = make([]int32, sub.off[g.n])
+	i := 0
+	for u := 0; u < g.n; u++ {
+		if !keep[u] {
+			continue
+		}
+		for _, w := range g.row(u) {
+			if keep[int(w)] {
+				sub.nbr[i] = w
+				i++
+			}
+		}
+	}
+	sub.m = len(sub.nbr) / 2
+	sub.indexEdges()
+	return sub
+}
+
+// indexEdges fills the membership index from the finished CSR rows (for
+// derived graphs that bypass the Builder).
+func (g *Graph) indexEdges() {
+	g.set.grow(g.m)
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.row(u) {
+			if int(w) > u {
+				g.set.insert(edgeKey(g.n, u, int(w)))
+			}
+		}
+	}
 }
 
 // RemoveEdges returns a copy of g with the given edges removed.
 func (g *Graph) RemoveEdges(remove []Edge) *Graph {
-	drop := make(map[uint64]bool, len(remove))
+	drop := make([]uint64, 0, len(remove))
 	for _, e := range remove {
-		drop[edgeKey(g.n, e.U, e.V)] = true
+		drop = append(drop, edgeKey(g.n, e.U, e.V))
 	}
-	b := NewBuilder(g.n)
-	g.VisitEdges(func(e Edge) bool {
-		if !drop[edgeKey(g.n, e.U, e.V)] {
-			b.AddEdge(e.U, e.V)
+	sortKeys(drop)
+	dropped := func(u int, w int32) bool {
+		return searchKeys(drop, edgeKey(g.n, u, int(w)))
+	}
+	out := &Graph{n: g.n, off: make([]int32, g.n+1)}
+	for u := 0; u < g.n; u++ {
+		out.off[u+1] = out.off[u]
+		for _, w := range g.row(u) {
+			if !dropped(u, w) {
+				out.off[u+1]++
+			}
 		}
-		return true
-	})
-	return b.Build()
+	}
+	out.nbr = make([]int32, out.off[g.n])
+	i := 0
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.row(u) {
+			if !dropped(u, w) {
+				out.nbr[i] = w
+				i++
+			}
+		}
+	}
+	out.m = len(out.nbr) / 2
+	out.indexEdges()
+	return out
+}
+
+// sortKeys sorts a small key slice ascending (insertion sort: removal
+// lists are short, and this avoids pulling in sort's interface machinery).
+func sortKeys(keys []uint64) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+// searchKeys reports whether k occurs in the ascending key slice.
+func searchKeys(keys []uint64, k uint64) bool {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(keys) && keys[lo] == k
 }
 
 // DegreeHistogram returns a map from degree to the number of vertices with

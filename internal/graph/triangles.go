@@ -2,6 +2,8 @@ package graph
 
 import (
 	"fmt"
+
+	"tricomm/internal/marks"
 )
 
 // Triangle is an unordered vertex triple forming a triangle. The canonical
@@ -47,7 +49,7 @@ func (g *Graph) IsTriangle(u, v, w int) bool {
 // returns a witness apex if so. This is the "triangle edge" notion of
 // Definition 3.
 func (g *Graph) HasTriangleOn(e Edge) (int, bool) {
-	a, b := g.adj[e.U], g.adj[e.V]
+	a, b := g.row(e.U), g.row(e.V)
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -106,13 +108,13 @@ func (g *Graph) Triangles(limit int) []Triangle {
 func (g *Graph) visitTriangles(fn func(Triangle) bool) {
 	// fwd[v] = neighbors of v with id > v.
 	for u := 0; u < g.n; u++ {
-		au := g.adj[u]
+		au := g.row(u)
 		// Find the suffix of au with ids > u.
 		lo := upperBound(au, int32(u))
 		fu := au[lo:]
 		for i, v32 := range fu {
 			v := int(v32)
-			av := g.adj[v]
+			av := g.row(v)
 			// Intersect fu[i+1:] with neighbors of v greater than v.
 			p, q := i+1, upperBound(av, v32)
 			for p < len(fu) && q < len(av) {
@@ -183,24 +185,46 @@ func (g *Graph) IsVee(v Vee) bool {
 // of v, i.e. they form a matching on the neighborhood graph
 // H_v = (N(v), {uw : u,w ∈ N(v), uw ∈ E}).
 func (g *Graph) DisjointVeesAt(v int) []Vee {
-	nbrs := g.adj[v]
-	used := make(map[int32]bool, len(nbrs))
 	var out []Vee
+	g.disjointVeesAt(v, func(s, l, r int) {
+		out = append(out, Vee{Source: s, Left: l, Right: r})
+	})
+	return out
+}
+
+// DisjointVeeCountAt reports len(DisjointVeesAt(v)) without materializing
+// the vees — the form every counting caller (Definition 5 fullness, the
+// farness report) actually needs.
+func (g *Graph) DisjointVeeCountAt(v int) int {
+	count := 0
+	g.disjointVeesAt(v, func(int, int, int) { count++ })
+	return count
+}
+
+// disjointVeesAt runs the greedy matching on N(v), reporting each matched
+// vee. The "used neighbor" scratch is a pooled epoch-marked slice instead
+// of a per-call map.
+func (g *Graph) disjointVeesAt(v int, emit func(source, left, right int)) {
+	nbrs := g.row(v)
+	if len(nbrs) < 2 {
+		return
+	}
+	used := marks.Get(g.n)
 	for i, u := range nbrs {
-		if used[u] {
+		if used.Has(int(u)) {
 			continue
 		}
 		for _, w := range nbrs[i+1:] {
-			if used[w] || !g.HasEdge(int(u), int(w)) {
+			if used.Has(int(w)) || !g.HasEdge(int(u), int(w)) {
 				continue
 			}
-			used[u] = true
-			used[w] = true
-			out = append(out, Vee{Source: v, Left: int(u), Right: int(w)})
+			used.Add(int(u))
+			used.Add(int(w))
+			emit(v, int(u), int(w))
 			break
 		}
 	}
-	return out
+	marks.Put(used)
 }
 
 // DisjointVeeCount returns, for every vertex, the size of a maximal set of
@@ -211,7 +235,7 @@ func (g *Graph) DisjointVeesAt(v int) []Vee {
 func (g *Graph) DisjointVeeCount() []int {
 	out := make([]int, g.n)
 	for v := 0; v < g.n; v++ {
-		out[v] = len(g.DisjointVeesAt(v))
+		out[v] = g.DisjointVeeCountAt(v)
 	}
 	return out
 }

@@ -51,11 +51,11 @@ func probeCurves(ctx context.Context, cfg RunConfig, nParts []int, gamma float64
 		bits    float64
 	}
 	perPart := len(budgets) * trials
-	cells, err := runner.Map(ctx, cfg.jobs(), len(nParts)*perPart, func(_ context.Context, i int) (cell, error) {
+	cells, err := runner.MapArena(ctx, cfg.jobs(), len(nParts)*perPart, func(_ context.Context, a *runner.Arena, i int) (cell, error) {
 		nPart := nParts[i/perPart]
 		bi, trial := (i%perPart)/trials, i%trials
 		seed := cfg.Seed*104729 + uint64(trial)*31 + uint64(nPart)
-		rng := rand.New(rand.NewSource(int64(seed)))
+		rng := a.Rand(int64(seed))
 		inst := lowerbound.SampleMu(lowerbound.MuParams{NPart: nPart, Gamma: gamma}, rng)
 		res, rerr := run(inst, xrand.New(seed+uint64(bi)), budgets[bi])
 		if rerr != nil {
@@ -279,9 +279,9 @@ func e6BHM() Experiment {
 				found bool
 				bits  float64
 			}
-			cells, err := runner.Map(ctx, cfg.jobs(), len(bs)*trials, func(ctx context.Context, i int) (cell, error) {
+			cells, err := runner.MapArena(ctx, cfg.jobs(), len(bs)*trials, func(ctx context.Context, a *runner.Arena, i int) (cell, error) {
 				b, trial := bs[i/trials], i%trials
-				rng := rand.New(rand.NewSource(int64(cfg.Seed)*13 + int64(trial)))
+				rng := a.Rand(int64(cfg.Seed)*13 + int64(trial))
 				inst := lowerbound.SampleBHM(b.n, b.allZero, rng)
 				red := lowerbound.Reduce(inst)
 				c := comm.Config{N: red.G.N(), Inputs: red.Inputs(),
@@ -370,9 +370,9 @@ func e11Streaming() Experiment {
 				win   bool
 				space int
 			}
-			cells, err := runner.Map(ctx, cfg.jobs(), len(bs)*trials, func(_ context.Context, i int) (cell, error) {
+			cells, err := runner.MapArena(ctx, cfg.jobs(), len(bs)*trials, func(_ context.Context, a *runner.Arena, i int) (cell, error) {
 				b, trial := bs[i/trials], i%trials
-				rng := rand.New(rand.NewSource(int64(cfg.Seed)*7 + int64(trial)))
+				rng := a.Rand(int64(cfg.Seed)*7 + int64(trial))
 				inst := lowerbound.SampleMu(lowerbound.MuParams{NPart: b.nPart, Gamma: gamma}, rng)
 				det := streamred.NewStarDetector(xrand.New(cfg.Seed+uint64(trial)), inst.NPart, b.capArms, inst.N())
 				var stream streamred.Stream

@@ -51,7 +51,7 @@ func sweep(ctx context.Context, cfg RunConfig, plans []runner.Plan) ([][]*stats.
 		}
 		for _, row := range res[pi] {
 			for i, r := range row {
-				aggs[i].Add(r.Bits, r.Found, r.Phases)
+				aggs[i].Add(r.Bits, r.Found, r.Phases.All())
 			}
 		}
 		out[pi] = aggs

@@ -11,6 +11,12 @@
 // so the numbers an experiment reports are bit-identical regardless of
 // the worker count or the scheduler's interleaving. `-jobs 1` and
 // `-jobs 64` produce the same bytes.
+//
+// Each worker owns a scratch Arena reused across every trial it
+// executes — most importantly the ~5 KB lagged-Fibonacci math/rand state,
+// which used to be allocated from cold once per trial. Arena reuse is
+// invisible to the contract above: a reseeded source produces exactly the
+// sequence a fresh one would.
 package runner
 
 import (
@@ -44,6 +50,31 @@ func TrialSeed(base uint64, trial int) uint64 {
 	return base*1_000_003 + uint64(trial)*7919
 }
 
+// Arena is the per-worker scratch a Map/MapArena worker reuses across
+// every trial it runs. It is never shared between goroutines, so no
+// synchronization is needed; trial outputs must not retain references
+// into it.
+type Arena struct {
+	rng *rand.Rand
+}
+
+// NewArena returns a fresh arena (exported for callers that run trial
+// bodies outside the pool, e.g. tests).
+func NewArena() *Arena {
+	return &Arena{rng: rand.New(rand.NewSource(1))}
+}
+
+// Rand reseeds the arena's reusable generator and returns it. The
+// returned *rand.Rand produces exactly the sequence
+// rand.New(rand.NewSource(seed)) would, without re-allocating the
+// generator state; it is valid until the next Rand call. Seeding goes
+// through Rand.Seed — not the Source directly — so the Read() byte
+// buffer is reset too and no state leaks across trials.
+func (a *Arena) Rand(seed int64) *rand.Rand {
+	a.rng.Seed(seed)
+	return a.rng
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) over a pool of `jobs`
 // workers and returns the results in index order. The first error
 // cancels the remaining work and is returned; a canceled parent context
@@ -51,6 +82,15 @@ func TrialSeed(base uint64, trial int) uint64 {
 // and must depend only on its index (not on call order) for the
 // determinism contract to hold.
 func Map[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapArena(ctx, jobs, n, func(ctx context.Context, _ *Arena, i int) (T, error) {
+		return fn(ctx, i)
+	})
+}
+
+// MapArena is Map with a per-worker scratch Arena handed to fn. The arena
+// is owned by the calling worker for the duration of fn; fn must not
+// leak state that aliases it into its result.
+func MapArena[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, a *Arena, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("runner: negative trial count %d", n)
 	}
@@ -81,6 +121,7 @@ func Map[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			arena := NewArena()
 			for {
 				i := int(next.Add(1))
 				if i >= n {
@@ -90,7 +131,7 @@ func Map[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i
 					fail(ctx.Err())
 					return
 				}
-				v, err := fn(cctx, i)
+				v, err := fn(cctx, arena, i)
 				if err != nil {
 					fail(err)
 					return
@@ -143,28 +184,28 @@ type TrialResult struct {
 	MaxPlayerBits int64
 	// Found reports whether the run exhibited a triangle.
 	Found bool
-	// Phases is the protocol-level per-phase bit attribution (nil when
+	// Phases is the protocol-level per-phase bit attribution (empty when
 	// the protocol declares no phases).
-	Phases map[string]int64
+	Phases protocol.Phases
 }
 
-// runTrial executes one trial: draw, split, build the shared topology,
-// run every tester on it.
-func (p Plan) runTrial(ctx context.Context, trial int) ([]TrialResult, error) {
+// runTrialInto executes one trial — draw, split, build the shared
+// topology, run every tester on it — writing results into row, a
+// preallocated slice of len(p.Testers) cells.
+func (p Plan) runTrialInto(ctx context.Context, a *Arena, trial int, row []TrialResult) error {
 	seed := p.Seed(trial)
-	rng := rand.New(rand.NewSource(int64(seed)))
+	rng := a.Rand(int64(seed))
 	g := p.Gen(rng)
 	shared := xrand.New(seed)
 	part := p.Partitioner.Split(g, p.K, shared)
 	top, err := comm.NewTopology(g.N(), part.Inputs, shared)
 	if err != nil {
-		return nil, fmt.Errorf("trial %d: %w", trial, err)
+		return fmt.Errorf("trial %d: %w", trial, err)
 	}
-	row := make([]TrialResult, len(p.Testers))
 	for i, mk := range p.Testers {
 		res, rerr := mk(g, trial).RunOn(ctx, top)
 		if rerr != nil {
-			return nil, fmt.Errorf("trial %d: %w", trial, rerr)
+			return fmt.Errorf("trial %d: %w", trial, rerr)
 		}
 		row[i] = TrialResult{
 			Bits:          res.Stats.TotalBits,
@@ -173,13 +214,26 @@ func (p Plan) runTrial(ctx context.Context, trial int) ([]TrialResult, error) {
 			Phases:        res.Phases,
 		}
 	}
-	return row, nil
+	return nil
 }
 
 // Run executes the plan's trials over `jobs` workers and returns the
-// results indexed [trial][tester].
+// results indexed [trial][tester]. All result cells live in one flat
+// preallocated backing array (trials × testers), so the per-trial row
+// allocation of the naive shape never happens.
 func (p Plan) Run(ctx context.Context, jobs int) ([][]TrialResult, error) {
-	return Map(ctx, jobs, p.Trials, p.runTrial)
+	cells := make([]TrialResult, p.Trials*len(p.Testers))
+	rows, err := MapArena(ctx, jobs, p.Trials, func(ctx context.Context, a *Arena, trial int) ([]TrialResult, error) {
+		row := cells[trial*len(p.Testers) : (trial+1)*len(p.Testers)]
+		if err := p.runTrialInto(ctx, a, trial, row); err != nil {
+			return nil, err
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // RunPlans executes several plans — typically one per sweep point — by
@@ -187,22 +241,33 @@ func (p Plan) Run(ctx context.Context, jobs int) ([][]TrialResult, error) {
 // total in-flight work never exceeds `jobs` no matter how many points a
 // sweep has (nested pools would multiply to jobs² workers and thrash
 // the scheduler). Results are indexed [plan][trial][tester]; the
-// determinism contract of Map applies unchanged.
+// determinism contract of Map applies unchanged. As in Plan.Run, every
+// result cell lives in one flat backing array sized up front.
 func RunPlans(ctx context.Context, jobs int, plans []Plan) ([][][]TrialResult, error) {
-	type coord struct{ plan, trial int }
+	type coord struct {
+		plan, trial int
+		cells       []TrialResult // preallocated destination row
+	}
+	total := 0
+	for _, p := range plans {
+		total += p.Trials * len(p.Testers)
+	}
+	backing := make([]TrialResult, total)
 	var coords []coord
+	off := 0
 	for pi, p := range plans {
+		w := len(p.Testers)
 		for trial := 0; trial < p.Trials; trial++ {
-			coords = append(coords, coord{pi, trial})
+			coords = append(coords, coord{pi, trial, backing[off : off+w]})
+			off += w
 		}
 	}
-	cells, err := Map(ctx, jobs, len(coords), func(ctx context.Context, i int) ([]TrialResult, error) {
+	cells, err := MapArena(ctx, jobs, len(coords), func(ctx context.Context, a *Arena, i int) ([]TrialResult, error) {
 		c := coords[i]
-		row, rerr := plans[c.plan].runTrial(ctx, c.trial)
-		if rerr != nil {
+		if rerr := plans[c.plan].runTrialInto(ctx, a, c.trial, c.cells); rerr != nil {
 			return nil, fmt.Errorf("plan %d: %w", c.plan, rerr)
 		}
-		return row, nil
+		return c.cells, nil
 	})
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -148,5 +149,50 @@ func TestPlanDeterministicAcrossJobs(t *testing.T) {
 	}
 	if len(seq) != plan.Trials || len(seq[0]) != len(plan.Testers) {
 		t.Fatalf("result shape %dx%d, want %dx%d", len(seq), len(seq[0]), plan.Trials, len(plan.Testers))
+	}
+}
+
+// TestArenaRandMatchesFresh pins the arena's reseed-in-place contract:
+// Arena.Rand(seed) must reproduce rand.New(rand.NewSource(seed)) exactly,
+// including across interleaved reseeds — the property the determinism
+// contract relies on when workers reuse one generator across trials.
+func TestArenaRandMatchesFresh(t *testing.T) {
+	a := NewArena()
+	for _, seed := range []int64{1, 42, -7, 1 << 40} {
+		got := a.Rand(seed)
+		want := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			if g, w := got.Int63(), want.Int63(); g != w {
+				t.Fatalf("seed %d draw %d: %d != %d", seed, i, g, w)
+			}
+		}
+		// Interleave a different seed, then return: still exact.
+		a.Rand(seed + 1).Int63()
+		got = a.Rand(seed)
+		want = rand.New(rand.NewSource(seed))
+		if g, w := got.Float64(), want.Float64(); g != w {
+			t.Fatalf("seed %d after reseed: %v != %v", seed, g, w)
+		}
+	}
+}
+
+// TestMapArenaPerWorker checks every worker observes its own arena.
+func TestMapArenaPerWorker(t *testing.T) {
+	var mu sync.Mutex
+	arenas := map[*Arena]bool{}
+	_, err := MapArena(context.Background(), 4, 64, func(_ context.Context, a *Arena, i int) (int, error) {
+		if a == nil {
+			t.Error("nil arena")
+		}
+		mu.Lock()
+		arenas[a] = true
+		mu.Unlock()
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arenas) == 0 || len(arenas) > 4 {
+		t.Fatalf("saw %d arenas, want between 1 and 4", len(arenas))
 	}
 }

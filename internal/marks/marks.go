@@ -1,0 +1,64 @@
+// Package marks provides a reusable membership scratch over small integer
+// keys — the allocation-free replacement for the throwaway map[int]bool
+// sets the hot paths used to build per call.
+//
+// A Set is a slice of epoch stamps: Reset bumps the epoch instead of
+// zeroing the slice, so clearing is O(1) and the backing array is reused
+// across calls. Get/Put recycle Sets through a pool, which gives every
+// worker goroutine warm scratch without any coordination — the scratch-
+// arena contract documented in DESIGN.md ("memory layout").
+package marks
+
+import "sync"
+
+// Set is a clearable membership scratch over keys in [0, n). The zero
+// value is empty; call Reset before use. Not safe for concurrent use —
+// obtain one per goroutine via Get.
+type Set struct {
+	stamp []uint32
+	cur   uint32
+}
+
+// Reset prepares the set for keys in [0, n), clearing it in O(1) by
+// bumping the epoch (the backing array is only touched when it must grow,
+// or once every 2³² resets when the epoch wraps).
+func (s *Set) Reset(n int) {
+	s.cur++
+	if s.cur == 0 {
+		// Zero the full capacity, not just the current length: stale
+		// stamps beyond len would otherwise survive the wrap and collide
+		// with small post-wrap epochs after a later regrow-within-cap.
+		full := s.stamp[:cap(s.stamp)]
+		for i := range full {
+			full[i] = 0
+		}
+		s.cur = 1
+	}
+	if n <= cap(s.stamp) {
+		s.stamp = s.stamp[:n]
+	} else {
+		s.stamp = make([]uint32, n)
+	}
+}
+
+// Has reports whether i was added since the last Reset.
+func (s *Set) Has(i int) bool { return s.stamp[i] == s.cur }
+
+// Add marks i as a member.
+func (s *Set) Add(i int) { s.stamp[i] = s.cur }
+
+// Len reports the key-range the set was Reset for.
+func (s *Set) Len() int { return len(s.stamp) }
+
+var pool = sync.Pool{New: func() any { return new(Set) }}
+
+// Get returns a pooled Set reset for keys in [0, n).
+func Get(n int) *Set {
+	s := pool.Get().(*Set)
+	s.Reset(n)
+	return s
+}
+
+// Put returns a Set to the pool for reuse. The caller must not use it
+// afterwards.
+func Put(s *Set) { pool.Put(s) }

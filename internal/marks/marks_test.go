@@ -1,0 +1,74 @@
+package marks
+
+import "testing"
+
+func TestSetBasic(t *testing.T) {
+	var s Set
+	s.Reset(8)
+	if s.Has(3) {
+		t.Fatal("fresh set has member")
+	}
+	s.Add(3)
+	s.Add(7)
+	if !s.Has(3) || !s.Has(7) || s.Has(0) {
+		t.Fatal("membership wrong after Add")
+	}
+	s.Reset(8)
+	if s.Has(3) || s.Has(7) {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestSetGrowKeepsClearing(t *testing.T) {
+	var s Set
+	s.Reset(4)
+	s.Add(2)
+	s.Reset(16) // grow: new backing array
+	for i := 0; i < 16; i++ {
+		if s.Has(i) {
+			t.Fatalf("grown set has stale member %d", i)
+		}
+	}
+	s.Add(15)
+	s.Reset(4) // shrink within capacity
+	if s.Has(2) {
+		t.Fatal("shrunk set kept stale member")
+	}
+	s.Reset(16) // regrow within capacity: stale stamp at 15 must not leak
+	if s.Has(15) {
+		t.Fatal("regrown set resurrected stale member")
+	}
+}
+
+func TestSetEpochWrap(t *testing.T) {
+	s := &Set{stamp: make([]uint32, 4), cur: ^uint32(0) - 1}
+	s.Reset(4) // cur becomes ^uint32(0)
+	s.Add(1)
+	s.Reset(4) // cur wraps to 0 → slice is cleared, cur = 1
+	if s.cur != 1 {
+		t.Fatalf("cur after wrap = %d, want 1", s.cur)
+	}
+	for i := 0; i < 4; i++ {
+		if s.Has(i) {
+			t.Fatalf("post-wrap set has stale member %d", i)
+		}
+	}
+	s.Add(2)
+	if !s.Has(2) {
+		t.Fatal("post-wrap Add lost")
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	s := Get(32)
+	s.Add(5)
+	if !s.Has(5) {
+		t.Fatal("pooled set dropped member")
+	}
+	Put(s)
+	s2 := Get(32)
+	if s2.Has(5) {
+		t.Fatal("pooled set leaked members across Get")
+	}
+	Put(s2)
+}

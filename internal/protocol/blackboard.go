@@ -9,6 +9,7 @@ import (
 	"tricomm/internal/bucket"
 	"tricomm/internal/comm"
 	"tricomm/internal/graph"
+	"tricomm/internal/marks"
 	"tricomm/internal/wire"
 )
 
@@ -65,7 +66,7 @@ func (u UnrestrictedBlackboard) RunOn(ctx context.Context, top *comm.Topology) (
 	}
 	players := comm.BoardPlayersOn(top)
 	board := comm.NewBoard(top.K())
-	res := Result{Verdict: TriangleFree, Phases: map[string]int64{}}
+	res := Result{Verdict: TriangleFree}
 
 	n := top.N()
 	k := top.K()
@@ -113,6 +114,14 @@ func (u UnrestrictedBlackboard) RunOn(ctx context.Context, top *comm.Topology) (
 	q := int(math.Ceil(t.CandidateFactor * float64(k) * lnN))
 	keep := int(math.Ceil(t.KeepFactor * lnN))
 
+	// Reusable scratch for the bucket loop: the seen-candidate and
+	// posted-arm sets are pooled epoch-marked slices reset per use, not
+	// per-iteration map allocations.
+	seen := marks.Get(n)
+	defer marks.Put(seen)
+	posted := marks.Get(n)
+	defer marks.Put(posted)
+
 	board.BeginPhase("buckets")
 	for i := lo; i <= hi; i++ {
 		board.Round()
@@ -121,7 +130,7 @@ func (u UnrestrictedBlackboard) RunOn(ctx context.Context, top *comm.Topology) (
 			dEst float64
 		}
 		var cands []cand
-		seen := map[int]bool{}
+		seen.Reset(n)
 		for count := 0; count < q && len(cands) < keep; count++ {
 			// Candidate sampling: every player posts its min-rank local
 			// candidate; the global minimum is public.
@@ -147,10 +156,10 @@ func (u UnrestrictedBlackboard) RunOn(ctx context.Context, top *comm.Topology) (
 			if !found {
 				break
 			}
-			if seen[best] {
+			if seen.Has(best) {
 				continue
 			}
-			seen[best] = true
+			seen.Add(best)
 			// Public MSB degree bracket: d(v) ≤ d′(v) ≤ 2k·d(v).
 			var dPrime float64
 			for _, p := range players {
@@ -186,14 +195,14 @@ func (u UnrestrictedBlackboard) RunOn(ctx context.Context, top *comm.Topology) (
 			}
 			capTotal := int(math.Ceil(t.CapSlack * math.Sqrt(t.DegreeAlpha) * dHat * p * 2))
 			key := top.Shared().Key(fmt.Sprintf("star/%s/b%d/e%d", tag, i, ci))
-			posted := map[int]bool{}
+			posted.Reset(n)
 			var arms []int
 			for _, pl := range players {
 				var fresh []int
 				for _, u32 := range pl.View.Neighbors(cd.v) {
 					uu := int(u32)
-					if !posted[uu] && key.Bernoulli(uint64(uu), p) {
-						posted[uu] = true
+					if !posted.Has(uu) && key.Bernoulli(uint64(uu), p) {
+						posted.Add(uu)
 						fresh = append(fresh, uu)
 					}
 				}

@@ -55,7 +55,7 @@ func (p NaiveUniform) RunOn(ctx context.Context, top *comm.Topology) (Result, er
 	if tag == "" {
 		tag = "naive"
 	}
-	res := Result{Verdict: TriangleFree, Phases: map[string]int64{}}
+	res := Result{Verdict: TriangleFree}
 	coord := func(ctx context.Context, c *comm.Coordinator) error {
 		lnN := math.Log(float64(c.N))
 		if lnN < 1 {

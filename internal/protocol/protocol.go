@@ -65,8 +65,9 @@ type Result struct {
 	// Stats is the communication cost of the run.
 	Stats comm.Stats
 	// Phases optionally attributes bits to named protocol phases (e.g.
-	// "candidates" vs "edges" in the unrestricted protocol).
-	Phases map[string]int64
+	// "candidates" vs "edges" in the unrestricted protocol). It is an
+	// inline fixed-slot table; the zero value is empty.
+	Phases Phases
 }
 
 // Found reports whether the run exhibited a triangle.

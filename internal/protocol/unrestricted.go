@@ -9,6 +9,7 @@ import (
 	"tricomm/internal/bucket"
 	"tricomm/internal/comm"
 	"tricomm/internal/graph"
+	"tricomm/internal/marks"
 )
 
 // UnrestrictedTunables exposes the constant factors of the unrestricted
@@ -107,7 +108,7 @@ func (u Unrestricted) RunOn(ctx context.Context, top *comm.Topology) (Result, er
 	if u.Eps <= 0 || u.Eps > 1 {
 		return Result{}, fmt.Errorf("protocol: unrestricted needs 0 < eps ≤ 1, got %v", u.Eps)
 	}
-	res := Result{Verdict: TriangleFree, Phases: map[string]int64{}}
+	res := Result{Verdict: TriangleFree}
 	coord := func(ctx context.Context, c *comm.Coordinator) error {
 		r, err := u.runCoordinator(ctx, c)
 		if err != nil {
@@ -128,7 +129,7 @@ func (u Unrestricted) RunOn(ctx context.Context, top *comm.Topology) (Result, er
 
 func (u Unrestricted) runCoordinator(ctx context.Context, c *comm.Coordinator) (Result, error) {
 	t := u.tunables()
-	res := Result{Verdict: TriangleFree, Phases: map[string]int64{}}
+	res := Result{Verdict: TriangleFree}
 	n := c.N
 	lnN := math.Log(float64(n))
 	if lnN < 1 {
@@ -186,12 +187,13 @@ func (u Unrestricted) runCoordinator(ctx context.Context, c *comm.Coordinator) (
 // attributePhases fills Result.Phases from the engine meter's disjoint
 // phase counters, adding the paper's "buckets" aggregate (everything past
 // the degree estimate — the candidate + edge pipeline) that the
-// experiment tables report.
+// experiment tables report. The engine reports phases in declaration
+// order, so the slot order here is deterministic.
 func attributePhases(res *Result, stats comm.Stats) {
-	for name, v := range stats.Phases {
-		res.Phases[name] = v
+	for _, p := range stats.Phases {
+		res.Phases.Set(p.Name, p.Bits)
 	}
-	res.Phases["buckets"] = stats.TotalBits - res.Phases["estimate"]
+	res.Phases.Set("buckets", stats.TotalBits-res.Phases.Get("estimate"))
 }
 
 // findTriangleVee is FindTriangleVee(Bᵢ) (Algorithm 5): gather full-vertex
@@ -206,7 +208,8 @@ func (u Unrestricted) findTriangleVee(
 		dEst float64
 	}
 	var cands []cand
-	seen := map[int]bool{}
+	seen := marks.Get(c.N)
+	defer marks.Put(seen)
 	// GetFullCandidates (Algorithm 3): up to q uniform samples from B̃ᵢ,
 	// degree-filtered to ~N(Bᵢ) — candidate work is the k²·polylog
 	// additive term, metered under the "candidates" phase.
@@ -220,10 +223,10 @@ func (u Unrestricted) findTriangleVee(
 		if !ok {
 			break // no player has candidates for this bucket
 		}
-		if seen[v] {
+		if seen.Has(v) {
 			continue
 		}
-		seen[v] = true
+		seen.Add(v)
 		var dEst float64
 		var derr error
 		if u.AssumeDisjoint {

@@ -10,6 +10,7 @@ package stats
 
 import (
 	"fmt"
+	"iter"
 	"math"
 	"sort"
 )
@@ -141,14 +142,18 @@ func NewTrialAggregator(trials int) *TrialAggregator {
 	return &TrialAggregator{trials: trials, PhaseMeans: map[string]float64{}}
 }
 
-// Add folds one trial's outcome.
-func (a *TrialAggregator) Add(totalBits int64, found bool, phases map[string]int64) {
+// Add folds one trial's outcome. phases may be nil; protocols hand their
+// fixed-slot phase tables over as an iterator, so no per-trial map is
+// materialized on the way into the aggregator.
+func (a *TrialAggregator) Add(totalBits int64, found bool, phases iter.Seq2[string, int64]) {
 	a.Bits = append(a.Bits, float64(totalBits))
 	if found {
 		a.Found++
 	}
-	for name, v := range phases {
-		a.PhaseMeans[name] += float64(v) / float64(a.trials)
+	if phases != nil {
+		for name, v := range phases {
+			a.PhaseMeans[name] += float64(v) / float64(a.trials)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"maps"
 	"math"
 	"math/rand"
 	"testing"
@@ -108,10 +109,10 @@ func TestWilsonReferenceValues(t *testing.T) {
 
 func TestTrialAggregator(t *testing.T) {
 	a := NewTrialAggregator(4)
-	a.Add(100, true, map[string]int64{"edges": 40, "candidates": 60})
-	a.Add(200, false, map[string]int64{"edges": 80, "candidates": 120})
+	a.Add(100, true, maps.All(map[string]int64{"edges": 40, "candidates": 60}))
+	a.Add(200, false, maps.All(map[string]int64{"edges": 80, "candidates": 120}))
 	a.Add(300, true, nil)
-	a.Add(400, true, map[string]int64{"edges": 120})
+	a.Add(400, true, maps.All(map[string]int64{"edges": 120}))
 	if a.Found != 3 {
 		t.Fatalf("Found = %d, want 3", a.Found)
 	}
@@ -139,7 +140,7 @@ func TestTrialAggregatorMatchesSequentialFold(t *testing.T) {
 	}
 	a := NewTrialAggregator(trials)
 	for _, v := range vals {
-		a.Add(v, false, map[string]int64{"p": v})
+		a.Add(v, false, maps.All(map[string]int64{"p": v}))
 	}
 	if got := a.PhaseMeans["p"]; got != want {
 		t.Fatalf("fold mismatch: %v != %v", got, want)

@@ -303,8 +303,8 @@ func report(name string, res protocol.Result) Report {
 	// for the experiment tables.
 	if len(res.Stats.Phases) > 0 {
 		rep.PhaseBits = make(map[string]int64, len(res.Stats.Phases))
-		for k, v := range res.Stats.Phases {
-			rep.PhaseBits[k] = v
+		for _, p := range res.Stats.Phases {
+			rep.PhaseBits[p.Name] = p.Bits
 		}
 	}
 	return rep
