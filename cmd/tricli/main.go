@@ -1,0 +1,297 @@
+// Command tricli is the client for a running tricommd daemon.
+//
+//	tricli -server http://127.0.0.1:7341 submit -kind far -n 512 -d 8 -trials 5 -wait
+//	tricli -server http://127.0.0.1:7341 get -job job-3
+//	tricli -server http://127.0.0.1:7341 watch -job job-3
+//	tricli -server http://127.0.0.1:7341 load -jobs 200 -c 8 -n 256
+//	tricli -server http://127.0.0.1:7341 stats
+//
+// submit prints the job id (and, with -wait, streams per-trial results
+// until the verdict summary). load is the throughput generator: it
+// submits -jobs jobs from -c concurrent clients and reports jobs/sec and
+// the verdict tally.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tricomm/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "tricli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("tricli", flag.ContinueOnError)
+	server := global.String("server", "http://127.0.0.1:7341", "tricommd base URL")
+	global.Usage = usage(global)
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		global.Usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	cl := &service.Client{Base: *server}
+	ctx := context.Background()
+	switch rest[0] {
+	case "submit":
+		return cmdSubmit(ctx, cl, rest[1:])
+	case "get":
+		return cmdGet(ctx, cl, rest[1:])
+	case "watch":
+		return cmdWatch(ctx, cl, rest[1:])
+	case "load":
+		return cmdLoad(ctx, cl, rest[1:])
+	case "stats":
+		return cmdStats(ctx, cl)
+	default:
+		global.Usage()
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+func usage(fs *flag.FlagSet) func() {
+	return func() {
+		fmt.Fprintf(fs.Output(), "usage: tricli [-server URL] <submit|get|watch|load|stats> [flags]\n")
+		fs.PrintDefaults()
+	}
+}
+
+// jobFlags registers the job-spec flags shared by submit and load.
+func jobFlags(fs *flag.FlagSet) func() service.JobSpec {
+	var (
+		kind      = fs.String("kind", "far", "graph kind: far | random | bipartite")
+		n         = fs.Int("n", 512, "number of vertices")
+		d         = fs.Float64("d", 8, "target average degree")
+		eps       = fs.Float64("eps", 0.25, "farness parameter (construction and tester)")
+		k         = fs.Int("k", 4, "number of players")
+		part      = fs.String("partition", "disjoint", "partition: disjoint | duplicate | byvertex | all")
+		proto     = fs.String("protocol", "sim-oblivious", "protocol: interactive | blackboard | sim-low | sim-high | sim-oblivious | exact")
+		transport = fs.String("transport", "chan", "session transport: chan | pipe | tcp | wan")
+		trials    = fs.Int("trials", 1, "trials per job")
+		seed      = fs.Uint64("seed", 1, "base seed")
+		knownDeg  = fs.Bool("known-degree", true, "tell the protocol the true average degree")
+		check     = fs.Bool("check", false, "also report each instance's ground truth")
+	)
+	return func() service.JobSpec {
+		return service.JobSpec{
+			Graph:       service.GraphSpec{Kind: *kind, N: *n, D: *d, Eps: *eps},
+			K:           *k,
+			Partition:   *part,
+			Protocol:    *proto,
+			Eps:         *eps,
+			KnownDegree: *knownDeg,
+			Trials:      *trials,
+			Transport:   *transport,
+			Seed:        *seed,
+			Check:       *check,
+		}
+	}
+}
+
+func cmdSubmit(ctx context.Context, cl *service.Client, args []string) error {
+	fs := flag.NewFlagSet("tricli submit", flag.ContinueOnError)
+	spec := jobFlags(fs)
+	wait := fs.Bool("wait", false, "stream results until the job finishes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ji, err := cl.Submit(ctx, spec())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job: %s (%s)\n", ji.ID, ji.State)
+	if !*wait {
+		return nil
+	}
+	fin, err := cl.Stream(ctx, ji.ID, func(o service.TrialOutcome) error {
+		printOutcome(o)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return printFinal(fin)
+}
+
+func cmdGet(ctx context.Context, cl *service.Client, args []string) error {
+	fs := flag.NewFlagSet("tricli get", flag.ContinueOnError)
+	job := fs.String("job", "", "job id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *job == "" {
+		return fmt.Errorf("get: -job required")
+	}
+	ji, err := cl.Job(ctx, *job)
+	if err != nil {
+		return err
+	}
+	for _, o := range ji.Results {
+		printOutcome(o)
+	}
+	return printFinal(ji)
+}
+
+func cmdWatch(ctx context.Context, cl *service.Client, args []string) error {
+	fs := flag.NewFlagSet("tricli watch", flag.ContinueOnError)
+	job := fs.String("job", "", "job id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *job == "" {
+		return fmt.Errorf("watch: -job required")
+	}
+	fin, err := cl.Stream(ctx, *job, func(o service.TrialOutcome) error {
+		printOutcome(o)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return printFinal(fin)
+}
+
+func cmdLoad(ctx context.Context, cl *service.Client, args []string) error {
+	fs := flag.NewFlagSet("tricli load", flag.ContinueOnError)
+	spec := jobFlags(fs)
+	jobs := fs.Int("jobs", 100, "total jobs to submit")
+	conc := fs.Int("c", 4, "concurrent clients")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jobs < 1 || *conc < 1 {
+		return fmt.Errorf("load: -jobs and -c must be positive")
+	}
+	base := spec()
+	var (
+		next    atomic.Int64
+		found   atomic.Int64
+		free    atomic.Int64
+		failed  atomic.Int64
+		bits    atomic.Int64
+		retried atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, *conc)
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= *jobs {
+					return
+				}
+				spec := base
+				spec.Seed = base.Seed + uint64(i)
+				var ji service.JobInfo
+				var err error
+				for {
+					ji, err = cl.Submit(ctx, spec)
+					if err == nil {
+						break
+					}
+					// The daemon sheds load with ErrBusy (503) when the
+					// queue is full; back off and retry, fail on anything
+					// else.
+					if errors.Is(err, service.ErrBusy) {
+						retried.Add(1)
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+					errCh <- fmt.Errorf("submit %d: %w", i, err)
+					return
+				}
+				fin, err := cl.Wait(ctx, ji.ID, 5*time.Millisecond)
+				if err != nil {
+					errCh <- fmt.Errorf("wait %d: %w", i, err)
+					return
+				}
+				switch {
+				case fin.State != service.StateDone:
+					failed.Add(1)
+				case fin.Summary != nil && fin.Summary.Found > 0:
+					found.Add(1)
+				default:
+					free.Add(1)
+				}
+				if fin.Summary != nil {
+					bits.Add(int64(fin.Summary.MeanBits * float64(fin.Summary.Trials)))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	done := found.Load() + free.Load() + failed.Load()
+	fmt.Printf("load: %d jobs in %v (%.1f jobs/sec, %d clients)\n",
+		done, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds(), *conc)
+	fmt.Printf("  found-triangle: %d\n  triangle-free:  %d\n  failed:         %d\n",
+		found.Load(), free.Load(), failed.Load())
+	fmt.Printf("  total bits: %d, 503-retries: %d\n", bits.Load(), retried.Load())
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d jobs failed", failed.Load())
+	}
+	return nil
+}
+
+func cmdStats(ctx context.Context, cl *service.Client) error {
+	st, err := cl.ServerStats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uptime: %v\nworkers: %d (queue %d, %d queued)\nsubmitted: %d\ncompleted: %d\nfailed: %d\n",
+		time.Duration(st.UptimeMS)*time.Millisecond, st.Workers, st.QueueDepth, st.Queued,
+		st.Submitted, st.Completed, st.Failed)
+	return nil
+}
+
+func printOutcome(o service.TrialOutcome) {
+	verdict := "triangle-free"
+	if !o.TriangleFree {
+		if o.Witness != nil {
+			verdict = fmt.Sprintf("found-triangle %v", *o.Witness)
+		} else {
+			verdict = "found-triangle (no witness!)"
+		}
+	}
+	truth := ""
+	if o.HasTriangle != nil {
+		truth = fmt.Sprintf(" truth-has-triangle=%v", *o.HasTriangle)
+	}
+	fmt.Printf("trial %d seed=%d: %s  bits=%d wire-bytes=%d rounds=%d%s\n",
+		o.Trial, o.Seed, verdict, o.Bits, o.WireBytes, o.Rounds, truth)
+}
+
+func printFinal(ji service.JobInfo) error {
+	if ji.State == service.StateFailed {
+		return fmt.Errorf("job %s failed: %s", ji.ID, ji.Error)
+	}
+	if ji.Summary != nil {
+		s := ji.Summary
+		fmt.Printf("%s %s: %d/%d trials found a triangle, mean %.0f bits, max %d bits, %d wire bytes, %dms\n",
+			ji.ID, ji.State, s.Found, s.Trials, s.MeanBits, s.MaxBits, s.WireBytes, s.ElapsedMS)
+	} else {
+		fmt.Printf("%s %s (%d trials done)\n", ji.ID, ji.State, ji.TrialsDone)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command tricommd is the triangle-freeness testing daemon: it accepts
+// jobs (generator specs or uploaded edge lists) over a JSON/HTTP API, runs
+// the protocol sessions on a bounded worker pool, and streams per-trial
+// verdict/witness/bit-cost results.
+//
+//	tricommd -addr 127.0.0.1:7341 -workers 4
+//
+// API (see internal/service):
+//
+//	POST /v1/jobs             submit a job
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        job status + per-trial results
+//	GET  /v1/jobs/{id}/stream NDJSON stream of trial results
+//	GET  /v1/stats            service counters
+//	GET  /healthz             liveness
+//
+// Submit with curl:
+//
+//	curl -s -X POST localhost:7341/v1/jobs -d '{
+//	  "graph": {"kind": "far", "n": 512, "d": 8, "eps": 0.25},
+//	  "k": 4, "protocol": "sim-oblivious", "eps": 0.25,
+//	  "known_degree": true, "trials": 5, "seed": 1
+//	}'
+//
+// or use cmd/tricli.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tricomm/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tricommd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7341", "HTTP listen address")
+		workers   = flag.Int("workers", 2, "concurrent jobs")
+		queue     = flag.Int("queue", 64, "queued-job bound (503 beyond it)")
+		trialJobs = flag.Int("trial-jobs", 1, "per-job trial parallelism")
+		keep      = flag.Int("keep", 4096, "finished jobs retained for GET")
+		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "tricommd: ", log.LstdFlags)
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		TrialJobs:  *trialJobs,
+		KeepJobs:   *keep,
+	})
+
+	handler := svc.Handler()
+	if !*quiet {
+		handler = logRequests(logger, handler)
+	}
+	srv := &http.Server{Handler: handler}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on http://%s (%d workers, queue %d)", ln.Addr(), *workers, *queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	svc.Close()
+	<-serveErr // Serve has returned ErrServerClosed by now
+	return nil
+}
+
+// logRequests is a minimal request logger.
+func logRequests(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		logger.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -1,12 +1,26 @@
 // Command tritest generates a graph, splits it among k players, runs one
 // of the triangle-freeness protocols, and prints the verdict and exact
-// communication cost.
+// communication cost. With -check (the default) it also compares the
+// verdict against the instance's ground truth and exits non-zero, printing
+// the failing seed, on disagreement — which makes it a scripted health
+// check. With -server it submits the same job to a running tricommd daemon
+// and audits the daemon's verdicts instead, regenerating each trial's
+// instance locally from the reported per-trial seed.
 //
 // Examples:
 //
 //	tritest -n 2048 -d 8 -eps 0.2 -k 8 -protocol sim-oblivious
-//	tritest -n 1024 -d 64 -k 4 -protocol interactive -partition duplicate
+//	tritest -n 1024 -d 64 -k 4 -protocol interactive -partition duplicate -transport tcp
 //	tritest -n 512 -kind bipartite -protocol exact
+//	tritest -server http://127.0.0.1:7341 -protocol exact -trials 5
+//
+// Health-check semantics: a witness that is not a real triangle of the
+// instance is always a hard failure (soundness is unconditional). A missed
+// triangle is a failure too — for -kind far the construction guarantees
+// ε-farness, where the protocols succeed with high probability, so use
+// -kind far (or -protocol exact, which never misses) for scripted checks;
+// on -kind random instances close to triangle-free a miss can be a
+// legitimate tester outcome rather than a daemon fault.
 package main
 
 import (
@@ -16,16 +30,24 @@ import (
 	"os"
 
 	"tricomm"
+	"tricomm/internal/harness/runner"
+	"tricomm/internal/service"
 )
 
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "tritest: %v\n", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }
 
-func run() error {
+// run returns the process exit code: 0 for healthy, 2 for a ground-truth
+// disagreement, 1 (with an error) for operational failures.
+func run() (int, error) {
 	var (
 		n        = flag.Int("n", 1024, "number of vertices")
 		d        = flag.Float64("d", 8, "target average degree")
@@ -34,52 +56,102 @@ func run() error {
 		kind     = flag.String("kind", "far", "graph kind: far | random | bipartite")
 		proto    = flag.String("protocol", "sim-oblivious", "protocol: interactive | blackboard | sim-low | sim-high | sim-oblivious | exact")
 		part     = flag.String("partition", "disjoint", "partition: disjoint | duplicate | byvertex | all")
+		transp   = flag.String("transport", "chan", "session transport: chan | pipe | tcp | wan")
 		seed     = flag.Int64("seed", 1, "random seed")
 		knownDeg = flag.Bool("known-degree", true, "tell the protocol the true average degree")
+		check    = flag.Bool("check", true, "compare the verdict against ground truth; exit 2 with the failing seed on disagreement")
+		trials   = flag.Int("trials", 1, "trials (server mode)")
+		server   = flag.String("server", "", "audit a running tricommd at this base URL instead of running locally")
 	)
 	flag.Parse()
 
-	var g *tricomm.Graph
-	var certEps float64
-	switch *kind {
+	if _, err := parseScheme(*part); err != nil {
+		return 1, err
+	}
+	if _, err := parseProtocol(*proto); err != nil {
+		return 1, err
+	}
+	if _, err := tricomm.ParseTransport(*transp); err != nil {
+		return 1, err
+	}
+
+	if *server != "" {
+		return runServer(serverJob{
+			base: *server, kind: *kind, n: *n, d: *d, eps: *eps, k: *k,
+			proto: *proto, part: *part, transport: *transp,
+			seed: uint64(*seed), trials: *trials, knownDeg: *knownDeg, check: *check,
+		})
+	}
+	return runLocal(*kind, *n, *d, *eps, *k, *proto, *part, *transp, *seed, *knownDeg, *check)
+}
+
+// generate draws the instance for one seed; the same construction the
+// daemon uses, so server-mode audits can regenerate any trial.
+func generate(kind string, n int, d, eps float64, seed int64) (*tricomm.Graph, float64, error) {
+	switch kind {
 	case "far":
-		g, certEps = tricomm.FarGraph(*n, *d, *eps, *seed)
+		g, certEps := tricomm.FarGraph(n, d, eps, seed)
+		return g, certEps, nil
 	case "random":
-		g = tricomm.RandomGraph(*n, *d, *seed)
+		return tricomm.RandomGraph(n, d, seed), 0, nil
 	case "bipartite":
-		g = tricomm.BipartiteGraph(*n, *d, *seed)
+		return tricomm.BipartiteGraph(n, d, seed), 0, nil
 	default:
-		return fmt.Errorf("unknown -kind %q", *kind)
+		return nil, 0, fmt.Errorf("unknown -kind %q", kind)
 	}
+}
 
-	scheme, err := parseScheme(*part)
-	if err != nil {
-		return err
+// audit compares one verdict against the instance's ground truth. It
+// returns a non-empty failure description on disagreement.
+func audit(g *tricomm.Graph, triangleFree bool, witness *tricomm.Triangle, seed int64) string {
+	if !triangleFree {
+		if witness == nil {
+			return fmt.Sprintf("UNSOUND: triangle reported without a witness (seed=%d)", seed)
+		}
+		w := *witness
+		if w.A == w.B || w.B == w.C || w.A == w.C ||
+			!g.HasEdge(w.A, w.B) || !g.HasEdge(w.B, w.C) || !g.HasEdge(w.A, w.C) {
+			return fmt.Sprintf("UNSOUND: witness %v is not a triangle of the instance (seed=%d)", w, seed)
+		}
 	}
-	protocol, err := parseProtocol(*proto)
-	if err != nil {
-		return err
+	_, hasTriangle := g.FindTriangle()
+	if triangleFree && hasTriangle {
+		return fmt.Sprintf("MISS: verdict triangle-free but the instance has a triangle (seed=%d)", seed)
 	}
+	if !triangleFree && !hasTriangle {
+		// Unreachable given the soundness check above, but state it.
+		return fmt.Sprintf("UNSOUND: triangle reported on a triangle-free instance (seed=%d)", seed)
+	}
+	return ""
+}
 
-	cluster, err := tricomm.Split(g, *k, scheme, uint64(*seed))
+func runLocal(kind string, n int, d, eps float64, k int, proto, part, transp string, seed int64, knownDeg, check bool) (int, error) {
+	g, certEps, err := generate(kind, n, d, eps, seed)
 	if err != nil {
-		return err
+		return 1, err
 	}
+	scheme, _ := parseScheme(part)
+	protocol, _ := parseProtocol(proto)
+	transport, _ := tricomm.ParseTransport(transp)
 
-	opts := tricomm.Options{Protocol: protocol, Eps: *eps}
-	if *knownDeg {
+	cluster, err := tricomm.Split(g, k, scheme, uint64(seed))
+	if err != nil {
+		return 1, err
+	}
+	opts := tricomm.Options{Protocol: protocol, Eps: eps, Transport: transport}
+	if knownDeg {
 		opts.AvgDegree = g.AvgDegree()
 	}
 
-	fmt.Printf("graph: n=%d m=%d avg-degree=%.2f kind=%s", g.N(), g.M(), g.AvgDegree(), *kind)
+	fmt.Printf("graph: n=%d m=%d avg-degree=%.2f kind=%s", g.N(), g.M(), g.AvgDegree(), kind)
 	if certEps > 0 {
 		fmt.Printf(" certified-eps=%.3f", certEps)
 	}
-	fmt.Printf("\nplayers: k=%d partition=%s\n", *k, *part)
+	fmt.Printf("\nplayers: k=%d partition=%s transport=%s\n", k, part, transp)
 
 	rep, err := cluster.Test(context.Background(), opts)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	fmt.Printf("protocol: %s\n", rep.Protocol)
 	if rep.TriangleFree {
@@ -87,43 +159,120 @@ func run() error {
 	} else {
 		fmt.Printf("verdict: found triangle %v\n", rep.Witness)
 	}
-	fmt.Printf("communication: %d bits total, %d rounds\n", rep.Bits, rep.Rounds)
+	fmt.Printf("communication: %d bits total, %d rounds", rep.Bits, rep.Rounds)
+	if rep.WireBytes > 0 {
+		fmt.Printf(", %d wire bytes", rep.WireBytes)
+	}
+	fmt.Println()
 	for j, b := range rep.PerPlayerBits {
 		fmt.Printf("  player %d: %d bits\n", j, b)
 	}
-	return nil
+	if check {
+		w := rep.Witness
+		if msg := audit(g, rep.TriangleFree, &w, seed); msg != "" {
+			fmt.Fprintf(os.Stderr, "tritest: FAIL %s\n", msg)
+			return 2, nil
+		}
+		fmt.Println("check: verdict agrees with ground truth")
+	}
+	return 0, nil
+}
+
+type serverJob struct {
+	base, kind      string
+	n, k, trials    int
+	d, eps          float64
+	proto, part     string
+	transport       string
+	seed            uint64
+	knownDeg, check bool
+}
+
+// runServer submits the job to a tricommd daemon and audits every trial
+// outcome against a locally regenerated instance.
+func runServer(j serverJob) (int, error) {
+	ctx := context.Background()
+	cl := &service.Client{Base: j.base}
+	if err := cl.Health(ctx); err != nil {
+		return 1, fmt.Errorf("daemon unhealthy: %w", err)
+	}
+	ji, err := cl.Submit(ctx, service.JobSpec{
+		Graph:       service.GraphSpec{Kind: j.kind, N: j.n, D: j.d, Eps: j.eps},
+		K:           j.k,
+		Partition:   j.part,
+		Protocol:    j.proto,
+		Eps:         j.eps,
+		KnownDegree: j.knownDeg,
+		Trials:      j.trials,
+		Transport:   j.transport,
+		Seed:        j.seed,
+	})
+	if err != nil {
+		return 1, err
+	}
+	fmt.Printf("daemon %s: job %s (%s, %d trials)\n", j.base, ji.ID, j.proto, j.trials)
+
+	// The daemon echoes the spec with defaults filled in; derive expected
+	// trial seeds from that echo so defaulting (e.g. seed 0 → 1) cannot be
+	// mistaken for drift.
+	baseSeed := ji.Spec.Seed
+
+	failures := 0
+	fin, err := cl.Stream(ctx, ji.ID, func(o service.TrialOutcome) error {
+		verdict := "triangle-free"
+		if !o.TriangleFree {
+			if o.Witness != nil {
+				verdict = fmt.Sprintf("found-triangle %v", *o.Witness)
+			} else {
+				verdict = "found-triangle (no witness!)"
+			}
+		}
+		fmt.Printf("trial %d seed=%d: %s  bits=%d rounds=%d\n", o.Trial, o.Seed, verdict, o.Bits, o.Rounds)
+		if !j.check {
+			return nil
+		}
+		if o.Seed != runner.TrialSeed(baseSeed, o.Trial) {
+			failures++
+			fmt.Fprintf(os.Stderr, "tritest: FAIL trial %d reports seed %d, expected %d — daemon seed derivation drifted\n",
+				o.Trial, o.Seed, runner.TrialSeed(baseSeed, o.Trial))
+			return nil
+		}
+		g, _, err := generate(j.kind, j.n, j.d, j.eps, int64(o.Seed))
+		if err != nil {
+			return err
+		}
+		var w *tricomm.Triangle
+		if o.Witness != nil {
+			w = &tricomm.Triangle{A: o.Witness[0], B: o.Witness[1], C: o.Witness[2]}
+		}
+		if msg := audit(g, o.TriangleFree, w, int64(o.Seed)); msg != "" {
+			failures++
+			fmt.Fprintf(os.Stderr, "tritest: FAIL trial %d %s\n", o.Trial, msg)
+		}
+		return nil
+	})
+	if err != nil {
+		return 1, err
+	}
+	if fin.State != service.StateDone {
+		return 1, fmt.Errorf("job %s finished %s: %s", fin.ID, fin.State, fin.Error)
+	}
+	if failures > 0 {
+		return 2, fmt.Errorf("%d of %d trials disagree with ground truth", failures, j.trials)
+	}
+	if j.check {
+		fmt.Printf("check: all %d trials agree with ground truth\n", j.trials)
+	}
+	return 0, nil
 }
 
 func parseScheme(s string) (tricomm.SplitScheme, error) {
-	switch s {
-	case "disjoint":
-		return tricomm.SplitDisjoint, nil
-	case "duplicate":
-		return tricomm.SplitDuplicate, nil
-	case "byvertex":
-		return tricomm.SplitByVertex, nil
-	case "all":
-		return tricomm.SplitAll, nil
-	default:
-		return 0, fmt.Errorf("unknown -partition %q", s)
-	}
+	return tricomm.ParseSplitScheme(s)
 }
 
 func parseProtocol(s string) (tricomm.Protocol, error) {
-	switch s {
-	case "interactive":
-		return tricomm.Interactive, nil
-	case "blackboard":
-		return tricomm.InteractiveBlackboard, nil
-	case "sim-low":
-		return tricomm.SimultaneousLow, nil
-	case "sim-high":
-		return tricomm.SimultaneousHigh, nil
-	case "sim-oblivious", "auto":
-		return tricomm.SimultaneousOblivious, nil
-	case "exact":
-		return tricomm.Exact, nil
-	default:
+	if s == "" {
 		return 0, fmt.Errorf("unknown -protocol %q", s)
 	}
+	return tricomm.ParseProtocol(s)
 }

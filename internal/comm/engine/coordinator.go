@@ -7,17 +7,12 @@ import (
 	"sync"
 
 	"tricomm/internal/graph"
+	"tricomm/internal/transport"
 	"tricomm/internal/xrand"
 )
 
-// chanBuf is the per-channel buffer depth. One slot is enough to let a
-// round-trip pipeline: a fan-out Send deposits without waiting for the
-// player to reach Recv, and a player's reply Send never blocks on the
-// coordinator reaching Gather.
-const chanBuf = 1
-
 // Player is a player's endpoint in the coordinator model: its identity,
-// private input, the shared randomness, and its private channel to the
+// private input, the shared randomness, and its private link to the
 // coordinator. A Player is used only from its own goroutine.
 type Player struct {
 	// ID is the player index in [0, K).
@@ -34,34 +29,23 @@ type Player struct {
 	// Shared is the public randomness (identical on all parties).
 	Shared *xrand.Shared
 
-	in   <-chan Msg
-	out  chan<- Msg
-	done <-chan struct{}
+	conn transport.Conn
 }
 
 // Recv blocks for the next coordinator message. It returns ErrShutdown if
 // the coordinator has finished, or the context error if ctx is canceled.
 func (p *Player) Recv(ctx context.Context) (Msg, error) {
-	select {
-	case m, ok := <-p.in:
-		if !ok {
+	f, err := p.conn.Recv(ctx)
+	if err != nil {
+		if errors.Is(err, transport.ErrClosed) {
 			return Msg{}, ErrShutdown
 		}
-		return m, nil
-	case <-p.done:
-		// Drain-race: a message may already be in flight.
-		select {
-		case m, ok := <-p.in:
-			if !ok {
-				return Msg{}, ErrShutdown
-			}
-			return m, nil
-		default:
-			return Msg{}, ErrShutdown
+		if ctx.Err() != nil {
+			return Msg{}, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
 		}
-	case <-ctx.Done():
-		return Msg{}, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+		return Msg{}, err
 	}
+	return msgOf(f), nil
 }
 
 // Send transmits a message to the coordinator. It returns ErrShutdown if
@@ -70,23 +54,25 @@ func (p *Player) Recv(ctx context.Context) (Msg, error) {
 // Coordinator.Stats, read from the coordinator goroutine, is always
 // consistent with the messages it has observed.
 func (p *Player) Send(ctx context.Context, m Msg) error {
-	select {
-	case p.out <- m:
-		return nil
-	case <-p.done:
-		return ErrShutdown
-	case <-ctx.Done():
-		return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	if err := p.conn.Send(ctx, frameOf(m)); err != nil {
+		if errors.Is(err, transport.ErrClosed) {
+			return ErrShutdown
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+		}
+		return err
 	}
+	return nil
 }
 
 // PlayerFunc is the code run by each player goroutine.
 type PlayerFunc func(ctx context.Context, p *Player) error
 
-// Coordinator is the coordinator's endpoint: private channels to every
-// player plus the shared randomness. Single-message Send/Recv are used
-// from the coordinator goroutine only; Broadcast, Gather, and AskAll fan
-// out internally but present the same single-goroutine interface.
+// Coordinator is the coordinator's endpoint: a private transport link to
+// every player plus the shared randomness. Single-message Send/Recv are
+// used from the coordinator goroutine only; Broadcast, Gather, and AskAll
+// fan out internally but present the same single-goroutine interface.
 type Coordinator struct {
 	// K is the number of players.
 	K int
@@ -95,48 +81,51 @@ type Coordinator struct {
 	// Shared is the public randomness.
 	Shared *xrand.Shared
 
-	to    []chan<- Msg
-	from  []<-chan Msg
+	links []transport.Conn
 	pdone []<-chan struct{} // closed when the player goroutine exits
 	meter *Meter
 	seq   bool // sequential fan-out (regression-testing knob)
 }
 
+// linkErr maps a transport failure on player j's link to the engine's
+// coordinator-side error vocabulary.
+func (c *Coordinator) linkErr(ctx context.Context, j int, err error) error {
+	if errors.Is(err, transport.ErrClosed) {
+		return fmt.Errorf("%w: player %d", ErrPlayerDone, j)
+	}
+	if ctx.Err() != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+	return err
+}
+
 // Send transmits a message to player j. It returns ErrPlayerDone if the
 // player goroutine has already exited — checked up front, so a dead
 // player is reported deterministically instead of the message slipping
-// into the channel buffer.
+// into the link's buffer.
 func (c *Coordinator) Send(ctx context.Context, j int, m Msg) error {
 	select {
 	case <-c.pdone[j]:
 		return fmt.Errorf("%w: player %d", ErrPlayerDone, j)
 	default:
 	}
-	select {
-	case c.to[j] <- m:
-		c.meter.AddDown(j, m.Bits())
-		return nil
-	case <-c.pdone[j]:
-		return fmt.Errorf("%w: player %d", ErrPlayerDone, j)
-	case <-ctx.Done():
-		return fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	if err := c.links[j].Send(ctx, frameOf(m)); err != nil {
+		return c.linkErr(ctx, j, err)
 	}
+	c.meter.AddDown(j, m.Bits())
+	return nil
 }
 
 // Recv blocks for the next message from player j. It returns
 // ErrPlayerDone if the player goroutine has exited (Run then surfaces the
 // player's own error).
 func (c *Coordinator) Recv(ctx context.Context, j int) (Msg, error) {
-	select {
-	case m, ok := <-c.from[j]:
-		if !ok {
-			return Msg{}, fmt.Errorf("%w: player %d", ErrPlayerDone, j)
-		}
-		c.meter.AddUp(j, m.Bits())
-		return m, nil
-	case <-ctx.Done():
-		return Msg{}, fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	f, err := c.links[j].Recv(ctx)
+	if err != nil {
+		return Msg{}, c.linkErr(ctx, j, err)
 	}
+	c.meter.AddUp(j, f.Bits)
+	return msgOf(f), nil
 }
 
 // firstErr returns the lowest-indexed non-nil error, so the concurrent
@@ -162,9 +151,12 @@ func (c *Coordinator) Broadcast(ctx context.Context, m Msg) error {
 		}
 		return nil
 	}
-	// Fast path: with buffered channels an idle player costs no goroutine.
-	// A player that has already exited is routed to the slow path so Send
-	// reports ErrPlayerDone instead of depositing into its dead buffer.
+	// Fast path: on transports with free buffer space an idle player costs
+	// no goroutine. A player that has already exited is routed to the slow
+	// path so Send reports ErrPlayerDone instead of depositing into its
+	// dead buffer; so is any link whose transport cannot accept the frame
+	// without blocking.
+	f := frameOf(m)
 	var pending []int
 	for j := 0; j < c.K; j++ {
 		select {
@@ -173,12 +165,11 @@ func (c *Coordinator) Broadcast(ctx context.Context, m Msg) error {
 			continue
 		default:
 		}
-		select {
-		case c.to[j] <- m:
+		if ts, ok := c.links[j].(transport.TrySender); ok && ts.TrySend(f) {
 			c.meter.AddDown(j, m.Bits())
-		default:
-			pending = append(pending, j)
+			continue
 		}
+		pending = append(pending, j)
 	}
 	if len(pending) == 0 {
 		return nil
@@ -210,19 +201,17 @@ func (c *Coordinator) Gather(ctx context.Context) ([]Msg, error) {
 		}
 		return msgs, nil
 	}
-	// Fast path: drain replies already sitting in the channel buffers.
+	// Fast path: drain replies already delivered to the links.
 	var pending []int
 	for j := 0; j < c.K; j++ {
-		select {
-		case m, ok := <-c.from[j]:
-			if !ok {
-				return nil, fmt.Errorf("%w: player %d", ErrPlayerDone, j)
+		if tr, ok := c.links[j].(transport.TryReceiver); ok {
+			if f, got := tr.TryRecv(); got {
+				c.meter.AddUp(j, f.Bits)
+				msgs[j] = msgOf(f)
+				continue
 			}
-			c.meter.AddUp(j, m.Bits())
-			msgs[j] = m
-		default:
-			pending = append(pending, j)
 		}
+		pending = append(pending, j)
 	}
 	if len(pending) == 0 {
 		return msgs, nil
@@ -280,9 +269,30 @@ func (c *Coordinator) Round() { c.meter.AddRound() }
 // Meter.BeginPhase). Call between rounds.
 func (c *Coordinator) BeginPhase(name string) { c.meter.BeginPhase(name) }
 
-// Stats snapshots the communication cost so far; protocols use it to
+// Stats snapshots the communication cost so far, including the wire bytes
+// that crossed the session's transport links; protocols use it to
 // attribute bits to phases.
-func (c *Coordinator) Stats() Stats { return c.meter.Snapshot() }
+func (c *Coordinator) Stats() Stats {
+	s := c.meter.Snapshot()
+	c.addWire(&s)
+	return s
+}
+
+// addWire attaches the per-link wire-byte counters to a snapshot. Links
+// are read from the coordinator endpoint only, whose counters advance in
+// lockstep with the meter (down bytes at Send, up bytes at Recv), so bits
+// and bytes agree at every quiescent point.
+func (c *Coordinator) addWire(s *Stats) {
+	if len(c.links) == 0 {
+		return
+	}
+	s.PerLinkBytes = make([]int64, len(c.links))
+	for j, conn := range c.links {
+		ls := conn.Stats()
+		s.PerLinkBytes[j] = ls.BytesOut + ls.BytesIn
+		s.WireBytes += s.PerLinkBytes[j]
+	}
+}
 
 // CoordinatorFunc is the coordinator's protocol code. When it returns, the
 // cluster shuts down: players blocked in Recv observe ErrShutdown.
@@ -293,6 +303,7 @@ type RunOption func(*runOpts)
 
 type runOpts struct {
 	seqFanout bool
+	dial      transport.Dialer
 }
 
 // SequentialFanout makes Broadcast/Gather serialize their k unicasts in
@@ -301,6 +312,13 @@ type runOpts struct {
 // results and Stats are identical either way.
 func SequentialFanout() RunOption {
 	return func(o *runOpts) { o.seqFanout = true }
+}
+
+// Over runs the session's links over d, overriding the topology's
+// transport. Results and bit accounting are transport-independent; only
+// wire mechanics (and WireBytes timing on error paths) differ.
+func Over(d transport.Dialer) RunOption {
+	return func(o *runOpts) { o.dial = d }
 }
 
 // Run executes one protocol in the coordinator model over a throwaway
@@ -314,25 +332,29 @@ func Run(ctx context.Context, cfg Config, coord CoordinatorFunc, player PlayerFu
 	return RunOn(ctx, top, coord, player, opts...)
 }
 
-// RunOn executes one protocol in the coordinator model over top: it spawns
-// one goroutine per player running player, executes coord in the calling
-// goroutine, then shuts the players down and waits for them. The first
-// non-shutdown error from any party is returned alongside the cost
-// snapshot. Player views come from the topology's cache.
+// RunOn executes one protocol in the coordinator model over top: it opens
+// one transport link per player (from the topology's dialer, or the Over
+// option), spawns one goroutine per player running player, executes coord
+// in the calling goroutine, then shuts the players down and waits for
+// them. The first non-shutdown error from any party is returned alongside
+// the cost snapshot. Player views come from the topology's cache. On
+// successful runs the wire-byte counters are cross-checked against the bit
+// meter (CheckWire).
 func RunOn(ctx context.Context, top *Topology, coord CoordinatorFunc, player PlayerFunc, opts ...RunOption) (Stats, error) {
 	var o runOpts
 	for _, opt := range opts {
 		opt(&o)
 	}
+	dial := o.dial
+	if dial == nil {
+		dial = top.Transport()
+	}
 	k := top.K()
 	meter := NewMeter(k)
-	done := make(chan struct{})
 
-	toPlayer := make([]chan Msg, k)
-	toCoord := make([]chan Msg, k)
-	for j := 0; j < k; j++ {
-		toPlayer[j] = make(chan Msg, chanBuf)
-		toCoord[j] = make(chan Msg, chanBuf)
+	links, err := dial.Dial(k)
+	if err != nil {
+		return Stats{}, fmt.Errorf("comm: dial %s transport: %w", dial.Name(), err)
 	}
 
 	pdone := make([]chan struct{}, k)
@@ -340,15 +362,13 @@ func RunOn(ctx context.Context, top *Topology, coord CoordinatorFunc, player Pla
 		K:      k,
 		N:      top.N(),
 		Shared: top.Shared(),
-		to:     make([]chan<- Msg, k),
-		from:   make([]<-chan Msg, k),
+		links:  make([]transport.Conn, k),
 		pdone:  make([]<-chan struct{}, k),
 		meter:  meter,
 		seq:    o.seqFanout,
 	}
 	for j := 0; j < k; j++ {
-		c.to[j] = toPlayer[j]
-		c.from[j] = toCoord[j]
+		c.links[j] = links[j].A
 		pdone[j] = make(chan struct{})
 		c.pdone[j] = pdone[j]
 	}
@@ -363,16 +383,15 @@ func RunOn(ctx context.Context, top *Topology, coord CoordinatorFunc, player Pla
 			Edges:  top.Input(j),
 			View:   top.View(j),
 			Shared: top.Shared(),
-			in:     toPlayer[j],
-			out:    toCoord[j],
-			done:   done,
+			conn:   links[j].B,
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Closing these channels unblocks a coordinator waiting in
-			// Recv on, or Send to, a player that has terminated.
-			defer close(toCoord[p.ID])
+			// Closing the player's endpoint unblocks a coordinator waiting
+			// in Recv on, or Send to, a player that has terminated; pdone
+			// closes first so Send reports the exit deterministically.
+			defer links[p.ID].B.Close()
 			defer close(pdone[p.ID])
 			if err := player(ctx, p); err != nil && !errors.Is(err, ErrShutdown) {
 				errs <- fmt.Errorf("player %d: %w", p.ID, err)
@@ -381,21 +400,56 @@ func RunOn(ctx context.Context, top *Topology, coord CoordinatorFunc, player Pla
 	}
 
 	coordErr := coord(ctx, c)
-	close(done)
+	// Closing the coordinator endpoints is the shutdown signal: players
+	// blocked in Recv drain any in-flight message and observe ErrShutdown.
+	for j := 0; j < k; j++ {
+		links[j].A.Close()
+	}
 	wg.Wait()
 	close(errs)
+
+	stats := meter.Snapshot()
+	c.addWire(&stats)
 
 	// Player errors take precedence: a coordinator error of "player
 	// terminated" is a symptom, the player's own failure is the cause.
 	for err := range errs {
 		if err != nil {
-			return meter.Snapshot(), err
+			return stats, err
 		}
 	}
 	if coordErr != nil {
-		return meter.Snapshot(), fmt.Errorf("coordinator: %w", coordErr)
+		return stats, fmt.Errorf("coordinator: %w", coordErr)
 	}
-	return meter.Snapshot(), nil
+	if err := CheckWire(stats); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// CheckWire cross-checks a session's wire-byte counters against its bit
+// meter. Every metered message crosses a link as one frame of
+// HeaderBytes(bits) + ceil(bits/8) wire bytes, so at any quiescent point
+//
+//	ceil(linkBits/8) ≤ WireBytes ≤ linkBits/8 + (MaxHeaderBytes+1)·Messages
+//
+// where linkBits = UpBits + DownBits (coordinator blackboard posts cross no
+// link) and MaxHeaderBytes+1 bounds the per-frame overhead: at most
+// MaxHeaderBytes bytes of length prefix plus one byte of payload padding.
+// A snapshot without link counters (models that run without a transport)
+// passes vacuously.
+func CheckWire(s Stats) error {
+	if s.PerLinkBytes == nil {
+		return nil
+	}
+	linkBits := s.UpBits + s.DownBits
+	lo := (linkBits + 7) / 8
+	hi := linkBits/8 + int64(transport.MaxHeaderBytes+1)*s.Messages
+	if s.WireBytes < lo || s.WireBytes > hi {
+		return fmt.Errorf("comm: wire bytes %d inconsistent with meter: %d link bits over %d messages want [%d, %d]",
+			s.WireBytes, linkBits, s.Messages, lo, hi)
+	}
+	return nil
 }
 
 // ServeLoop is a convenience player main loop: it calls handle for every

@@ -12,21 +12,29 @@
 //     exactly once, and are safe for concurrent readers.
 //
 //   - Session: one protocol execution over a Topology. A session owns the
-//     channels, the goroutines, and a Meter; it dies with the run while
-//     the Topology lives on.
+//     transport links, the goroutines, and a Meter; it dies with the run
+//     while the Topology lives on.
 //
 //   - Meter: per-player atomic accounting with round counting, optional
 //     named-phase attribution, and a dedicated counter for blackboard
 //     posts made by the coordinator (so board traffic is never
 //     misattributed to player 0's channel).
 //
+// Coordinator sessions are transport-agnostic: each player's private link
+// is a transport.Conn (in-process channels by default; net.Pipe, TCP
+// loopback, or simulated WAN via Topology.WithTransport or the Over run
+// option), and per-link wire-byte counters sit alongside the bit meter,
+// cross-checked by CheckWire on every successful run.
+//
 // The coordinator model's Broadcast/Gather/AskAll fan out and fan in
-// concurrently over buffered channels instead of serializing k unicasts in
-// player order; cost accounting is order-independent (per-message atomic
-// adds), so on successful runs Stats are bit-identical to a sequential
-// schedule — a property the regression tests pin down. On error paths the
-// snapshot is best-effort: a message sent concurrently with a player's
-// failure may be metered even though the player never drained it.
+// concurrently over the links (with a non-blocking fast path on transports
+// that support it) instead of serializing k unicasts in player order; cost
+// accounting is order-independent (per-message atomic adds), so on
+// successful runs Stats are bit-identical to a sequential schedule — and
+// to every other transport — a property the regression tests pin down. On
+// error paths the snapshot is best-effort: a message sent concurrently
+// with a player's failure may be metered even though the player never
+// drained it.
 package engine
 
 import (

@@ -103,6 +103,14 @@ type Stats struct {
 	// declaration order (deterministic, unlike a map); nil when the run
 	// declared none.
 	Phases []Phase
+	// WireBytes is the total framed wire bytes that crossed the session's
+	// transport links, header overhead included. Zero (with PerLinkBytes
+	// nil) for models that run without a transport (blackboard,
+	// simultaneous, one-way). CheckWire pins its relation to the bit meter.
+	WireBytes int64
+	// PerLinkBytes[j] is the framed wire traffic on player j's link in both
+	// directions; nil when the run used no transport.
+	PerLinkBytes []int64
 }
 
 // Phase is one named phase's bit total.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"tricomm/internal/transport"
 	"tricomm/internal/wire"
 )
 
@@ -34,3 +35,11 @@ func Ack() Msg {
 	w.WriteBit(1)
 	return FromWriter(&w)
 }
+
+// frameOf views the message as a transport frame. No copy: both forms are
+// immutable, so the frame may alias the message bytes.
+func frameOf(m Msg) transport.Frame { return transport.Frame{Bits: m.bits, Data: m.data} }
+
+// msgOf views a received transport frame as a message, again without
+// copying; transports never reuse a delivered frame's buffer.
+func msgOf(f transport.Frame) Msg { return Msg{bits: f.Bits, data: f.Data} }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"tricomm/internal/graph"
+	"tricomm/internal/transport"
 	"tricomm/internal/wire"
 	"tricomm/internal/xrand"
 )
@@ -27,6 +28,7 @@ type Topology struct {
 	inputs [][]wire.Edge
 	shared *xrand.Shared
 	cache  *viewCache
+	dial   transport.Dialer // nil means the in-process channel transport
 }
 
 // NewTopology validates the instance and returns a topology with an empty
@@ -80,7 +82,25 @@ func (t *Topology) Warm() {
 // protocol with fresh randomness on an unchanged cluster (views are
 // randomness-independent, so the cache stays valid and shared).
 func (t *Topology) WithShared(shared *xrand.Shared) *Topology {
-	return &Topology{n: t.n, inputs: t.inputs, shared: shared, cache: t.cache}
+	return &Topology{n: t.n, inputs: t.inputs, shared: shared, cache: t.cache, dial: t.dial}
+}
+
+// Transport returns the dialer coordinator-model sessions over this
+// topology open their links with. The default is the in-process channel
+// transport.
+func (t *Topology) Transport() transport.Dialer {
+	if t.dial == nil {
+		return transport.Chan{}
+	}
+	return t.dial
+}
+
+// WithTransport returns a topology over the same inputs, randomness, and
+// view cache, whose sessions run over d instead — topologies are
+// transport-agnostic, so the expensive per-player state is shared across
+// transports. A nil d restores the default in-process transport.
+func (t *Topology) WithTransport(d transport.Dialer) *Topology {
+	return &Topology{n: t.n, inputs: t.inputs, shared: t.shared, cache: t.cache, dial: d}
 }
 
 // Config returns the throwaway-config form of the topology.

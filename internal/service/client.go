@@ -1,0 +1,201 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a running tricommd over its JSON/HTTP API.
+type Client struct {
+	// Base is the server base URL, e.g. "http://127.0.0.1:7341".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// do executes a request and decodes the JSON response (or API error) into
+// out.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		detail := resp.Status
+		var ae apiError
+		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+			detail = fmt.Sprintf("%s: %s", resp.Status, ae.Error)
+		}
+		// Surface load shedding as the typed error so callers can back off
+		// with errors.Is instead of matching message text.
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return fmt.Errorf("service: %s: %w", detail, ErrBusy)
+		}
+		return fmt.Errorf("service: %s", detail)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Submit enqueues a job.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobInfo, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(payload))
+	if err != nil {
+		return JobInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var ji JobInfo
+	err = c.do(req, &ji)
+	return ji, err
+}
+
+// Job fetches one job with its per-trial results.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	var ji JobInfo
+	err = c.do(req, &ji)
+	return ji, err
+}
+
+// Jobs lists the server's retained jobs.
+func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs"), nil)
+	if err != nil {
+		return nil, err
+	}
+	var jis []JobInfo
+	err = c.do(req, &jis)
+	return jis, err
+}
+
+// ServerStats fetches the service counters.
+func (c *Client) ServerStats(ctx context.Context) (Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/stats"), nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	err = c.do(req, &st)
+	return st, err
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/healthz"), nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
+// Stream follows a job's NDJSON stream, invoking fn for every trial
+// outcome, and returns the final JobInfo once the job finishes.
+func (c *Client) Stream(ctx context.Context, id string, fn func(TrialOutcome) error) (JobInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/stream"), nil)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var ae apiError
+		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+			return JobInfo{}, fmt.Errorf("service: %s: %s", resp.Status, ae.Error)
+		}
+		return JobInfo{}, fmt.Errorf("service: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	var final JobInfo
+	gotFinal := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		// The final line is the JobInfo envelope; trial lines have no "id".
+		var probe struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(line, &probe) == nil && probe.ID != "" {
+			if err := json.Unmarshal(line, &final); err != nil {
+				return JobInfo{}, err
+			}
+			gotFinal = true
+			continue
+		}
+		var out TrialOutcome
+		if err := json.Unmarshal(line, &out); err != nil {
+			return JobInfo{}, fmt.Errorf("service: bad stream line: %w", err)
+		}
+		if fn != nil {
+			if err := fn(out); err != nil {
+				return JobInfo{}, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return JobInfo{}, err
+	}
+	if !gotFinal {
+		return JobInfo{}, fmt.Errorf("service: stream for %s ended without a final state", id)
+	}
+	return final, nil
+}
+
+// Wait polls until the job finishes and returns its final info.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobInfo, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		ji, err := c.Job(ctx, id)
+		if err != nil {
+			return JobInfo{}, err
+		}
+		if ji.State == StateDone || ji.State == StateFailed {
+			return ji, nil
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return JobInfo{}, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs             submit a JobSpec, returns the queued JobInfo
+//	GET  /v1/jobs             list retained jobs (no per-trial results)
+//	GET  /v1/jobs/{id}        one job, with per-trial results
+//	GET  /v1/jobs/{id}/stream NDJSON stream: one TrialOutcome per line as
+//	                          trials land, then a final JobInfo line
+//	GET  /v1/stats            service counters
+//	GET  /healthz             liveness (also reports the goroutine count)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrBusy):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	default:
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// maxBodyBytes bounds a submission body. Sized so a maximal legal edge
+// list (MaxEdges pairs of 7-digit JSON vertex ids, ~20 bytes per pair)
+// still fits.
+const maxBodyBytes = int64(MaxEdges) * 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, fmt.Errorf("decode job: %w", err))
+		return
+	}
+	ji, err := s.Submit(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ji)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	ji, err := s.Job(r.PathValue("id"), true)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ji)
+}
+
+// handleStream writes each trial outcome as one NDJSON line the moment it
+// completes (in trial order), then a final line holding the JobInfo
+// envelope (without the results, which were already streamed).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, ErrNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	next := 0
+	for {
+		// Arm the watch before reading state so an update between the read
+		// and the wait cannot be missed.
+		wake := j.watch()
+		ji := j.info(true)
+		for ; next < len(ji.Results); next++ {
+			if err := enc.Encode(ji.Results[next]); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if ji.State == StateDone || ji.State == StateFailed {
+			ji.Results = nil
+			_ = enc.Encode(ji)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"goroutines": runtime.NumGoroutine(),
+	})
+}

@@ -1,0 +1,237 @@
+// Package service is the triangle-freeness testing service behind
+// cmd/tricommd: a bounded worker pool that runs protocol sessions for jobs
+// submitted over a JSON/HTTP API and streams per-trial results.
+//
+// A job names a graph (a generator spec or an uploaded edge list), a
+// partition scheme, a protocol, a transport, and a trial count. Trials are
+// executed through the harness runner (internal/harness/runner), so the
+// service inherits its determinism contract: every trial's seed is
+// TrialSeed(job seed, trial index), making each outcome independently
+// reproducible — the API reports the per-trial seed so a client (or
+// cmd/tritest) can regenerate the instance locally and audit the verdict.
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"tricomm"
+)
+
+// Limits keep one malformed or hostile job from starving the pool.
+const (
+	// MaxN is the largest vertex universe a job may request.
+	MaxN = 1 << 20
+	// MaxEdges is the largest uploaded edge list.
+	MaxEdges = 1 << 22
+	// MaxTrials is the largest per-job trial count.
+	MaxTrials = 10_000
+	// MaxK is the largest player count.
+	MaxK = 256
+)
+
+// GraphSpec names the graph a job tests: either a generator (far, random,
+// bipartite — drawn per trial from the trial seed) or an explicit edge
+// list shared by every trial.
+type GraphSpec struct {
+	// Kind is "far", "random", "bipartite", or "edges".
+	Kind string `json:"kind"`
+	// N is the vertex universe size.
+	N int `json:"n"`
+	// D is the target average degree (generator kinds).
+	D float64 `json:"d,omitempty"`
+	// Eps is the construction farness for kind "far".
+	Eps float64 `json:"eps,omitempty"`
+	// Edges is the explicit edge list for kind "edges".
+	Edges [][2]int `json:"edges,omitempty"`
+}
+
+// Validate checks the spec's structural invariants.
+func (g GraphSpec) Validate() error {
+	if g.N < 1 || g.N > MaxN {
+		return fmt.Errorf("graph n %d out of range [1, %d]", g.N, MaxN)
+	}
+	switch g.Kind {
+	case "far", "random", "bipartite":
+		if g.D < 0 || g.D > float64(g.N) {
+			return fmt.Errorf("graph degree %v out of range", g.D)
+		}
+	case "edges":
+		if len(g.Edges) > MaxEdges {
+			return fmt.Errorf("edge list %d exceeds %d", len(g.Edges), MaxEdges)
+		}
+		for i, e := range g.Edges {
+			if e[0] < 0 || e[1] < 0 || e[0] >= g.N || e[1] >= g.N {
+				return fmt.Errorf("edge %d (%d,%d) out of range [0,%d)", i, e[0], e[1], g.N)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown graph kind %q", g.Kind)
+	}
+	return nil
+}
+
+// JobSpec is one submitted job.
+type JobSpec struct {
+	// Graph is the instance under test.
+	Graph GraphSpec `json:"graph"`
+	// K is the number of players (default 4).
+	K int `json:"k,omitempty"`
+	// Partition names the split scheme (default "disjoint").
+	Partition string `json:"partition,omitempty"`
+	// Protocol names the tester (default "sim-oblivious").
+	Protocol string `json:"protocol,omitempty"`
+	// Eps is the farness parameter the tester targets (default 0.1).
+	Eps float64 `json:"eps,omitempty"`
+	// KnownDegree tells the tester the union graph's true average degree.
+	KnownDegree bool `json:"known_degree,omitempty"`
+	// Trials is the repetition count (default 1). Trial i runs with seed
+	// TrialSeed(Seed, i) for both instance generation and the split.
+	Trials int `json:"trials,omitempty"`
+	// Transport names the session transport: "chan" (default), "pipe",
+	// "tcp", or "wan".
+	Transport string `json:"transport,omitempty"`
+	// Seed is the job's base seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Check additionally computes each trial instance's ground truth
+	// (whether the union graph actually contains a triangle), for health
+	// checks.
+	Check bool `json:"check,omitempty"`
+}
+
+// withDefaults fills the defaulted fields in.
+func (s JobSpec) withDefaults() JobSpec {
+	if s.K == 0 {
+		s.K = 4
+	}
+	if s.Trials == 0 {
+		s.Trials = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Validate checks the job's structural invariants and name fields.
+func (s JobSpec) Validate() error {
+	if err := s.Graph.Validate(); err != nil {
+		return err
+	}
+	if s.K < 1 || s.K > MaxK {
+		return fmt.Errorf("k %d out of range [1, %d]", s.K, MaxK)
+	}
+	if s.Trials < 0 || s.Trials > MaxTrials {
+		return fmt.Errorf("trials %d out of range [0, %d]", s.Trials, MaxTrials)
+	}
+	if s.Eps < 0 || s.Eps > 1 {
+		return fmt.Errorf("eps %v out of range [0, 1]", s.Eps)
+	}
+	if _, err := tricomm.ParseSplitScheme(s.Partition); err != nil {
+		return err
+	}
+	if _, err := tricomm.ParseProtocol(s.Protocol); err != nil {
+		return err
+	}
+	if _, err := tricomm.ParseTransport(s.Transport); err != nil {
+		return err
+	}
+	return nil
+}
+
+// options maps the spec to facade options for one trial's graph.
+func (s JobSpec) options(avgDegree float64) (tricomm.Options, error) {
+	p, err := tricomm.ParseProtocol(s.Protocol)
+	if err != nil {
+		return tricomm.Options{}, err
+	}
+	tr, err := tricomm.ParseTransport(s.Transport)
+	if err != nil {
+		return tricomm.Options{}, err
+	}
+	opts := tricomm.Options{Protocol: p, Eps: s.Eps, Transport: tr}
+	if s.KnownDegree {
+		opts.AvgDegree = avgDegree
+	}
+	return opts, nil
+}
+
+// TrialOutcome is one trial's result, streamed to watchers as it lands.
+type TrialOutcome struct {
+	// Trial is the trial index in [0, Trials).
+	Trial int `json:"trial"`
+	// Seed is the trial's derived seed; regenerating the instance from it
+	// reproduces this outcome exactly.
+	Seed uint64 `json:"seed"`
+	// TriangleFree is the verdict.
+	TriangleFree bool `json:"triangle_free"`
+	// Witness is the exhibited triangle when the verdict is "found".
+	Witness *[3]int `json:"witness,omitempty"`
+	// Bits is the total communication of the run.
+	Bits int64 `json:"bits"`
+	// WireBytes is the framed transport traffic of the run's
+	// coordinator-model sessions (0 for transportless models).
+	WireBytes int64 `json:"wire_bytes,omitempty"`
+	// Rounds is the protocol round count.
+	Rounds int64 `json:"rounds"`
+	// PhaseBits attributes bits to protocol phases.
+	PhaseBits map[string]int64 `json:"phase_bits,omitempty"`
+	// HasTriangle is the instance's ground truth, present when the job
+	// asked for Check.
+	HasTriangle *bool `json:"has_triangle,omitempty"`
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job states.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Summary aggregates a finished job.
+type Summary struct {
+	// Trials is the executed trial count.
+	Trials int `json:"trials"`
+	// Found is the number of trials that exhibited a triangle.
+	Found int `json:"found"`
+	// MeanBits is the mean total communication per trial.
+	MeanBits float64 `json:"mean_bits"`
+	// MaxBits is the largest per-trial communication.
+	MaxBits int64 `json:"max_bits"`
+	// WireBytes is the summed transport traffic.
+	WireBytes int64 `json:"wire_bytes"`
+	// ElapsedMS is the job's wall-clock run time in milliseconds.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// JobInfo is the API view of a job.
+type JobInfo struct {
+	// ID is the job identifier.
+	ID string `json:"id"`
+	// State is the lifecycle position.
+	State JobState `json:"state"`
+	// Error is the failure cause when State is "failed".
+	Error string `json:"error,omitempty"`
+	// Spec echoes the submitted job (with defaults filled in).
+	Spec JobSpec `json:"spec"`
+	// TrialsDone counts completed trials.
+	TrialsDone int `json:"trials_done"`
+	// Results are the per-trial outcomes, in trial order, populated as the
+	// job runs.
+	Results []TrialOutcome `json:"results,omitempty"`
+	// Summary is present once the job is done.
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// ErrBusy is returned by Submit when the queue is full.
+var ErrBusy = errors.New("service: queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: server closed")
+
+// ErrNotFound is returned for unknown job ids.
+var ErrNotFound = errors.New("service: no such job")

@@ -1,0 +1,413 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tricomm"
+	"tricomm/internal/graph"
+	"tricomm/internal/harness/runner"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the job worker pool size (default 2): at most Workers jobs
+	// run concurrently.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs (default
+	// 64); submissions beyond it are rejected with ErrBusy.
+	QueueDepth int
+	// TrialJobs is the per-job trial parallelism handed to the harness
+	// runner (default 1, which also keeps streamed results in trial
+	// order). Total in-flight sessions are bounded by Workers × TrialJobs.
+	TrialJobs int
+	// KeepJobs bounds how many finished jobs are retained for GET before
+	// the oldest are evicted (default 4096).
+	KeepJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.TrialJobs <= 0 {
+		c.TrialJobs = 1
+	}
+	if c.KeepJobs <= 0 {
+		c.KeepJobs = 4096
+	}
+	return c
+}
+
+// job is the server-side state of one submission.
+type job struct {
+	id   string
+	spec JobSpec
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	results  []TrialOutcome // indexed by trial
+	filled   []bool
+	done     int
+	summary  *Summary
+	started  time.Time
+	watchers []chan struct{} // closed-and-discarded on every update
+}
+
+// update mutates the job under its lock and wakes every watcher.
+func (j *job) update(fn func()) {
+	j.mu.Lock()
+	fn()
+	ws := j.watchers
+	j.watchers = nil
+	j.mu.Unlock()
+	for _, w := range ws {
+		close(w)
+	}
+}
+
+// watch returns a channel closed at the next update.
+func (j *job) watch() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	w := make(chan struct{})
+	if j.state == StateDone || j.state == StateFailed {
+		close(w) // no further updates are coming; don't park watchers
+		return w
+	}
+	j.watchers = append(j.watchers, w)
+	return w
+}
+
+// info snapshots the API view. Results are copied up to the first gap so
+// watchers always see a prefix in trial order.
+func (j *job) info(withResults bool) JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ji := JobInfo{
+		ID:         j.id,
+		State:      j.state,
+		Error:      j.err,
+		Spec:       j.spec,
+		TrialsDone: j.done,
+		Summary:    j.summary,
+	}
+	if withResults {
+		n := 0
+		for n < len(j.filled) && j.filled[n] {
+			n++
+		}
+		ji.Results = append([]TrialOutcome(nil), j.results[:n]...)
+	}
+	return ji
+}
+
+// Server schedules submitted jobs onto a bounded worker pool. Create with
+// New, serve its Handler, and Close it to drain; Close waits for every
+// worker, so a closed server has no goroutines left.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // insertion order, for listing and eviction
+	closed bool
+
+	queue  chan *job
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	nextID    atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// New starts a server with cfg's worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		start:  time.Now(),
+		jobs:   make(map[string]*job),
+		queue:  make(chan *job, cfg.QueueDepth),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting jobs, cancels running ones, and waits for the
+// workers to exit. Queued jobs are marked failed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Submit validates and enqueues a job, returning its queued info.
+func (s *Server) Submit(spec JobSpec) (JobInfo, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return JobInfo{}, fmt.Errorf("service: invalid job: %w", err)
+	}
+	j := &job{
+		spec:    spec,
+		state:   StateQueued,
+		results: make([]TrialOutcome, spec.Trials),
+		filled:  make([]bool, spec.Trials),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobInfo{}, ErrClosed
+	}
+	j.id = fmt.Sprintf("job-%d", s.nextID.Add(1))
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		return JobInfo{}, ErrBusy
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	s.submitted.Add(1)
+	return j.info(false), nil
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound.
+func (s *Server) evictLocked() {
+	for len(s.order) > s.cfg.KeepJobs {
+		evicted := false
+		for i, id := range s.order {
+			j := s.jobs[id]
+			j.mu.Lock()
+			finished := j.state == StateDone || j.state == StateFailed
+			j.mu.Unlock()
+			if finished {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still live
+		}
+	}
+}
+
+// Job returns the API view of one job.
+func (s *Server) Job(id string, withResults bool) (JobInfo, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobInfo{}, ErrNotFound
+	}
+	return j.info(withResults), nil
+}
+
+// Jobs lists every retained job, oldest first, without per-trial results.
+func (s *Server) Jobs() []JobInfo {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	out := make([]JobInfo, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j.info(false))
+		}
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// worker drains the queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job's trials through the harness runner.
+func (s *Server) run(j *job) {
+	j.update(func() {
+		j.state = StateRunning
+		j.started = time.Now()
+	})
+	if err := s.runTrials(j); err != nil {
+		s.failed.Add(1)
+		j.update(func() {
+			j.state = StateFailed
+			j.err = err.Error()
+		})
+		return
+	}
+	s.completed.Add(1)
+	j.update(func() {
+		sum := Summary{Trials: j.spec.Trials, ElapsedMS: time.Since(j.started).Milliseconds()}
+		for _, r := range j.results {
+			if !r.TriangleFree {
+				sum.Found++
+			}
+			sum.MeanBits += float64(r.Bits)
+			if r.Bits > sum.MaxBits {
+				sum.MaxBits = r.Bits
+			}
+			sum.WireBytes += r.WireBytes
+		}
+		if sum.Trials > 0 {
+			sum.MeanBits /= float64(sum.Trials)
+		}
+		j.state = StateDone
+		j.summary = &sum
+	})
+}
+
+// runTrials fans the job's trials onto the harness runner. Trial i is a
+// pure function of TrialSeed(spec.Seed, i): instance generation, the
+// split, and the protocol's shared randomness all derive from it, so any
+// outcome can be replayed independently.
+func (s *Server) runTrials(j *job) error {
+	spec := j.spec
+
+	// An uploaded edge list is one immutable instance shared by all trials
+	// (only the split seed varies); generator kinds redraw per trial.
+	var uploaded *tricomm.Graph
+	if spec.Graph.Kind == "edges" {
+		b := tricomm.NewBuilder(spec.Graph.N)
+		for _, e := range spec.Graph.Edges {
+			if e[0] != e[1] {
+				b.AddEdge(e[0], e[1])
+			}
+		}
+		uploaded = b.Build()
+	}
+
+	_, err := runner.MapArena(s.ctx, s.cfg.TrialJobs, spec.Trials,
+		func(ctx context.Context, a *runner.Arena, trial int) (struct{}, error) {
+			seed := runner.TrialSeed(spec.Seed, trial)
+			g := uploaded
+			if g == nil {
+				g = generate(spec.Graph, a.Rand(int64(seed)))
+			}
+			scheme, err := tricomm.ParseSplitScheme(spec.Partition)
+			if err != nil {
+				return struct{}{}, err
+			}
+			cl, err := tricomm.Split(g, spec.K, scheme, seed)
+			if err != nil {
+				return struct{}{}, err
+			}
+			opts, err := spec.options(g.AvgDegree())
+			if err != nil {
+				return struct{}{}, err
+			}
+			rep, err := cl.Test(ctx, opts)
+			if err != nil {
+				return struct{}{}, fmt.Errorf("trial %d (seed %d): %w", trial, seed, err)
+			}
+			out := TrialOutcome{
+				Trial:        trial,
+				Seed:         seed,
+				TriangleFree: rep.TriangleFree,
+				Bits:         rep.Bits,
+				WireBytes:    rep.WireBytes,
+				Rounds:       rep.Rounds,
+				PhaseBits:    rep.PhaseBits,
+			}
+			if !rep.TriangleFree {
+				out.Witness = &[3]int{rep.Witness.A, rep.Witness.B, rep.Witness.C}
+			}
+			if spec.Check {
+				_, has := g.FindTriangle()
+				out.HasTriangle = &has
+			}
+			j.update(func() {
+				j.results[trial] = out
+				j.filled[trial] = true
+				j.done++
+			})
+			return struct{}{}, nil
+		})
+	return err
+}
+
+// generate draws a generator-spec instance from the trial rng. The
+// constructions match the tricomm facade generators exactly (the facade
+// seeds a fresh rand.Source; the runner arena reseeds in place, which
+// produces the identical sequence), so clients can regenerate any trial's
+// instance with the public API.
+func generate(gs GraphSpec, rng *rand.Rand) *tricomm.Graph {
+	switch gs.Kind {
+	case "far":
+		eps := gs.Eps
+		if eps <= 0 {
+			eps = 0.2
+		}
+		fg := graph.FarWithDegree(graph.FarParams{N: gs.N, D: gs.D, Eps: eps}, rng)
+		return fg.G
+	case "random":
+		return graph.RandomAvgDegree(gs.N, gs.D, rng)
+	case "bipartite":
+		return graph.BipartiteAvgDegree(gs.N, gs.D, rng)
+	default:
+		panic(fmt.Sprintf("service: generate on kind %q", gs.Kind)) // Validate rejects earlier
+	}
+}
+
+// Stats is the service-level counter snapshot for the /v1/stats endpoint.
+type Stats struct {
+	// UptimeMS is the server age in milliseconds.
+	UptimeMS int64 `json:"uptime_ms"`
+	// Workers and QueueDepth echo the pool configuration.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Queued is the current queue length.
+	Queued int `json:"queued"`
+	// Submitted, Completed, and Failed count jobs over the server's life.
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UptimeMS:   time.Since(s.start).Milliseconds(),
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Queued:     len(s.queue),
+		Submitted:  s.submitted.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+	}
+}

@@ -1,0 +1,332 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tricomm"
+	"tricomm/internal/harness/runner"
+)
+
+// newTestServer starts a Server behind an httptest listener and returns a
+// client for it plus a shutdown func.
+func newTestServer(t *testing.T, cfg Config) (*Client, func()) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	hc := hs.Client()
+	cl := &Client{Base: hs.URL, HTTP: hc}
+	return cl, func() {
+		hs.Close()
+		s.Close()
+		hc.CloseIdleConnections()
+	}
+}
+
+func farJob(n int, trials int, seed uint64) JobSpec {
+	return JobSpec{
+		Graph:       GraphSpec{Kind: "far", N: n, D: 6, Eps: 0.25},
+		K:           3,
+		Protocol:    "sim-oblivious",
+		Eps:         0.25,
+		KnownDegree: true,
+		Trials:      trials,
+		Seed:        seed,
+	}
+}
+
+// TestSubmitAndWait covers the basic lifecycle: submit, poll, summary.
+func TestSubmitAndWait(t *testing.T) {
+	cl, shutdown := newTestServer(t, Config{Workers: 2})
+	defer shutdown()
+	ctx := context.Background()
+
+	ji, err := cl.Submit(ctx, farJob(96, 3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.ID == "" || (ji.State != StateQueued && ji.State != StateRunning) {
+		t.Fatalf("submit returned %+v", ji)
+	}
+	fin, err := cl.Wait(ctx, ji.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job finished in state %s (%s)", fin.State, fin.Error)
+	}
+	if fin.TrialsDone != 3 || len(fin.Results) != 3 || fin.Summary == nil {
+		t.Fatalf("incomplete results: %+v", fin)
+	}
+	for i, r := range fin.Results {
+		if r.Trial != i || r.Seed != runner.TrialSeed(7, i) {
+			t.Fatalf("trial %d has index %d seed %d", i, r.Trial, r.Seed)
+		}
+		if r.Bits <= 0 {
+			t.Fatalf("trial %d reports %d bits", i, r.Bits)
+		}
+	}
+}
+
+// TestTrialOutcomesReproducible pins the determinism contract the API
+// advertises: regenerating a trial's instance from its reported seed and
+// running the same options locally reproduces the exact outcome.
+func TestTrialOutcomesReproducible(t *testing.T) {
+	cl, shutdown := newTestServer(t, Config{Workers: 1})
+	defer shutdown()
+	ctx := context.Background()
+
+	spec := farJob(128, 4, 21)
+	spec.Protocol = "interactive"
+	spec.Transport = "tcp"
+	ji, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := cl.Wait(ctx, ji.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job failed: %s", fin.Error)
+	}
+	for _, r := range fin.Results {
+		g, _ := tricomm.FarGraph(128, 6, 0.25, int64(r.Seed))
+		clu, err := tricomm.Split(g, 3, tricomm.SplitDisjoint, r.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := clu.Test(ctx, tricomm.Options{
+			Protocol: tricomm.Interactive, Eps: 0.25, AvgDegree: g.AvgDegree(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TriangleFree != r.TriangleFree || rep.Bits != r.Bits || rep.Rounds != r.Rounds {
+			t.Fatalf("trial %d not reproducible: daemon %+v vs local %+v", r.Trial, r, rep)
+		}
+		if !rep.TriangleFree {
+			if w := rep.Witness; r.Witness == nil || *r.Witness != [3]int{w.A, w.B, w.C} {
+				t.Fatalf("trial %d witness mismatch: %v vs %v", r.Trial, r.Witness, rep.Witness)
+			}
+		}
+	}
+}
+
+// TestStreamDeliversTrialsThenFinal covers the NDJSON stream: every trial
+// in order, then the final envelope.
+func TestStreamDeliversTrialsThenFinal(t *testing.T) {
+	cl, shutdown := newTestServer(t, Config{Workers: 1})
+	defer shutdown()
+	ctx := context.Background()
+
+	ji, err := cl.Submit(ctx, farJob(96, 5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []int
+	fin, err := cl.Stream(ctx, ji.ID, func(o TrialOutcome) error {
+		seen = append(seen, o.Trial)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("stream final state %s (%s)", fin.State, fin.Error)
+	}
+	if len(seen) != 5 {
+		t.Fatalf("streamed %d trials, want 5 (%v)", len(seen), seen)
+	}
+	for i, tr := range seen {
+		if tr != i {
+			t.Fatalf("stream out of order: %v", seen)
+		}
+	}
+}
+
+// TestUploadedEdgesAndCheck covers the edge-list kind plus the ground
+// truth flag, with an instance whose answer is known exactly.
+func TestUploadedEdgesAndCheck(t *testing.T) {
+	cl, shutdown := newTestServer(t, Config{Workers: 1})
+	defer shutdown()
+	ctx := context.Background()
+
+	// A triangle plus a pendant edge; the exact protocol must find it.
+	spec := JobSpec{
+		Graph:    GraphSpec{Kind: "edges", N: 8, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}}},
+		K:        2,
+		Protocol: "exact",
+		Trials:   2,
+		Check:    true,
+	}
+	ji, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := cl.Wait(ctx, ji.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job failed: %s", fin.Error)
+	}
+	for _, r := range fin.Results {
+		if r.TriangleFree {
+			t.Fatalf("exact protocol missed the triangle: %+v", r)
+		}
+		if r.HasTriangle == nil || !*r.HasTriangle {
+			t.Fatalf("ground truth missing or wrong: %+v", r)
+		}
+		if r.Witness == nil || *r.Witness != [3]int{0, 1, 2} {
+			t.Fatalf("witness %v, want (0,1,2)", r.Witness)
+		}
+	}
+}
+
+// TestSubmitValidation covers API-level rejection.
+func TestSubmitValidation(t *testing.T) {
+	cl, shutdown := newTestServer(t, Config{Workers: 1})
+	defer shutdown()
+	ctx := context.Background()
+	bad := []JobSpec{
+		{Graph: GraphSpec{Kind: "far", N: 0}},
+		{Graph: GraphSpec{Kind: "nope", N: 8}},
+		{Graph: GraphSpec{Kind: "far", N: 8, D: 4}, Protocol: "nope"},
+		{Graph: GraphSpec{Kind: "far", N: 8, D: 4}, Partition: "nope"},
+		{Graph: GraphSpec{Kind: "far", N: 8, D: 4}, Transport: "nope"},
+		{Graph: GraphSpec{Kind: "edges", N: 4, Edges: [][2]int{{0, 9}}}},
+		{Graph: GraphSpec{Kind: "far", N: 8, D: 4}, Trials: MaxTrials + 1},
+	}
+	for i, spec := range bad {
+		if _, err := cl.Submit(ctx, spec); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	if _, err := cl.Job(ctx, "job-does-not-exist"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Errorf("missing job: err = %v, want 404", err)
+	}
+}
+
+// TestSmoke1000JobsNoGoroutineLeak is the acceptance smoke test: a
+// long-lived daemon must sustain 1000 sequential job submissions over real
+// HTTP without accumulating goroutines (each job runs full protocol
+// sessions, whose engine joins every goroutine it spawns).
+func TestSmoke1000JobsNoGoroutineLeak(t *testing.T) {
+	const jobs = 1000
+	cl, shutdown := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	ctx := context.Background()
+
+	// Warm up the HTTP stack and worker pool before baselining.
+	warm, err := cl.Submit(ctx, farJob(32, 1, 999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, warm.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	found := 0
+	for i := 0; i < jobs; i++ {
+		spec := farJob(32, 1, uint64(i+1))
+		if i%5 == 0 {
+			spec.Protocol = "exact" // mix a coordinator-model protocol in
+		}
+		ji, err := cl.Submit(ctx, spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		fin, err := cl.Wait(ctx, ji.ID, time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if fin.State != StateDone {
+			t.Fatalf("job %d failed: %s", i, fin.Error)
+		}
+		if fin.Summary.Found > 0 {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no job found a triangle on ε-far instances — something is off")
+	}
+
+	// Goroutine count must settle back to (about) the baseline: allow a
+	// small slack for HTTP keep-alive conns parked between requests.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after %d jobs\n%s",
+				before, after, jobs, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	shutdown()
+}
+
+// TestCloseDrainsWorkers pins that Close returns with no workers left and
+// marks jobs it interrupted as failed rather than leaving them running.
+func TestCloseDrainsWorkers(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 32})
+	// Enqueue more slow jobs than workers.
+	var ids []string
+	for i := 0; i < 6; i++ {
+		ji, err := s.Submit(farJob(256, 50, uint64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, ji.ID)
+	}
+	time.Sleep(20 * time.Millisecond)
+	s.Close()
+	// After Close every job must be in a terminal state or still queued —
+	// but none may be running.
+	for _, id := range ids {
+		ji, err := s.Job(id, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ji.State == StateRunning {
+			t.Fatalf("job %s still running after Close", id)
+		}
+	}
+	if _, err := s.Submit(farJob(32, 1, 1)); err == nil {
+		t.Fatal("Submit accepted after Close")
+	}
+}
+
+// TestQueueBackpressure pins ErrBusy beyond QueueDepth.
+func TestQueueBackpressure(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Close()
+	// One slow job occupies the worker; then fill the queue.
+	if _, err := s.Submit(farJob(512, 200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	busy := false
+	for i := 0; i < 2+2; i++ {
+		if _, err := s.Submit(farJob(32, 1, uint64(i+2))); err != nil {
+			if !errors.Is(err, ErrBusy) {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+			busy = true
+		}
+	}
+	if !busy {
+		t.Fatal("queue never reported ErrBusy")
+	}
+}

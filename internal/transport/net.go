@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Net is the socket transport: every frame is encoded with the layout of
+// frame.go and actually crosses a net.Conn. With TCP set, Dial opens real
+// loopback sockets (one listener per session, one connection per link);
+// otherwise links are synchronous net.Pipe pairs. Either way the engine's
+// pipelining contract — a Send never blocks on the peer reaching Recv — is
+// provided by a per-endpoint writer goroutine fed from a one-frame queue,
+// since net.Pipe has no buffering of its own.
+type Net struct {
+	// TCP selects real loopback sockets; false means net.Pipe.
+	TCP bool
+	// Addr is the TCP listen address; empty means "127.0.0.1:0".
+	Addr string
+}
+
+// Name identifies the transport.
+func (n Net) Name() string {
+	if n.TCP {
+		return "tcp"
+	}
+	return "pipe"
+}
+
+// Dial opens k links. For TCP it listens on a loopback port, dials one
+// connection per link, and matches each dialed connection to its accepted
+// peer by a uvarint index preamble (dial and accept are interleaved, so the
+// listener backlog never holds more than one pending handshake); the
+// listener is closed before Dial returns.
+func (n Net) Dial(k int) ([]Link, error) {
+	links := make([]Link, k)
+	if !n.TCP {
+		for j := range links {
+			pa, pb := net.Pipe()
+			links[j] = Link{A: newNetConn(pa), B: newNetConn(pb)}
+		}
+		return links, nil
+	}
+
+	addr := n.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	defer ln.Close()
+
+	fail := func(err error) ([]Link, error) {
+		for _, l := range links {
+			if l.A != nil {
+				l.A.Close()
+			}
+			if l.B != nil {
+				l.B.Close()
+			}
+		}
+		return nil, err
+	}
+	var preamble [binary.MaxVarintLen64]byte
+	for j := 0; j < k; j++ {
+		c, derr := net.DialTimeout("tcp", ln.Addr().String(), 10*time.Second)
+		if derr != nil {
+			return fail(fmt.Errorf("transport: dial link %d: %w", j, derr))
+		}
+		if _, werr := c.Write(preamble[:binary.PutUvarint(preamble[:], uint64(j))]); werr != nil {
+			c.Close()
+			return fail(fmt.Errorf("transport: link %d preamble: %w", j, werr))
+		}
+		links[j].A = newNetConn(c)
+
+		ac, aerr := ln.Accept()
+		if aerr != nil {
+			return fail(fmt.Errorf("transport: accept link %d: %w", j, aerr))
+		}
+		nc := newNetConn(ac)
+		idx, perr := binary.ReadUvarint(nc.br)
+		if perr != nil || idx >= uint64(k) || links[idx].B != nil {
+			nc.Close()
+			return fail(fmt.Errorf("transport: bad link preamble (idx %d, err %v)", idx, perr))
+		}
+		links[idx].B = nc
+	}
+	return links, nil
+}
+
+// netConn is one endpoint over a real net.Conn. Reads happen in the calling
+// goroutine; writes are handed to a writer goroutine through a one-frame
+// queue so Send never blocks on the peer draining the connection.
+type netConn struct {
+	c      net.Conn
+	br     *bufio.Reader
+	sendq  chan Frame
+	closed chan struct{}
+	once   sync.Once
+	stats  endStats
+}
+
+func newNetConn(c net.Conn) *netConn {
+	nc := &netConn{
+		c:      c,
+		br:     bufio.NewReader(c),
+		sendq:  make(chan Frame, 1),
+		closed: make(chan struct{}),
+	}
+	go nc.writeLoop()
+	return nc
+}
+
+// writeLoop serializes queued frames onto the connection. On Close it
+// drains frames already queued (so a frame accepted by Send just before
+// Close still reaches the peer, matching the drain semantics of the other
+// transports) and then closes the socket — which is also what finally
+// unblocks the peer's reads. A write stalled on a peer that will never
+// read is unblocked by that peer closing its own endpoint.
+func (c *netConn) writeLoop() {
+	defer c.c.Close()
+	defer c.Close() // a writer death must mark the endpoint closed
+	var buf []byte
+	bw := bufio.NewWriter(c.c)
+	emit := func(f Frame) bool {
+		buf = AppendFrame(buf[:0], f)
+		if _, err := bw.Write(buf); err != nil {
+			return false
+		}
+		// Flush per frame: request/reply rounds need the frame on the
+		// wire now, not when the buffer fills.
+		return bw.Flush() == nil
+	}
+	for {
+		select {
+		case f := <-c.sendq:
+			if !emit(f) {
+				return
+			}
+		case <-c.closed:
+			for {
+				select {
+				case f := <-c.sendq:
+					if !emit(f) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Send queues one frame for the writer goroutine. Wire bytes are counted at
+// hand-off; a frame accepted here but destroyed by a teardown race is the
+// transport analogue of a metered message the peer never drained.
+func (c *netConn) Send(ctx context.Context, f Frame) error {
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.sendq <- f:
+		c.stats.sent(f.Bits)
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Recv reads one frame from the connection. Context cancellation is honored
+// by forcing a read deadline; any connection-level read failure (EOF, reset,
+// closed pipe) is reported as ErrClosed, since from the session's view the
+// link is gone either way.
+func (c *netConn) Recv(ctx context.Context) (Frame, error) {
+	if done := ctx.Done(); done != nil {
+		// Clear any deadline a previously canceled context left behind,
+		// then arm this context's cancellation to abort the blocking read.
+		c.c.SetReadDeadline(time.Time{})
+		stop := context.AfterFunc(ctx, func() {
+			c.c.SetReadDeadline(time.Unix(1, 0))
+		})
+		defer stop()
+	}
+	f, err := readFrame(c.br)
+	if err != nil {
+		if ctx.Err() != nil {
+			return Frame{}, ctx.Err()
+		}
+		if err == ErrFrameTooLarge {
+			c.Close()
+			return Frame{}, err
+		}
+		return Frame{}, ErrClosed
+	}
+	c.stats.received(f.Bits)
+	return f, nil
+}
+
+// Close releases the endpoint: the writer goroutine flushes frames already
+// queued and then closes the socket, unblocking the peer's (and this
+// endpoint's) reads. Idempotent.
+func (c *netConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// Stats snapshots the endpoint's counters.
+func (c *netConn) Stats() LinkStats { return c.stats.snapshot() }

@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// WAN is the simulated wide-area transport: the in-process path with a
+// deterministic delay injected per frame. Each direction of each link has a
+// pump goroutine between sender and receiver; the pump holds every frame
+// for
+//
+//	delay = Latency + jitter + FrameSize(bits) / Bandwidth
+//
+// where jitter is drawn uniformly from [0, Jitter) by a splitmix64 sequence
+// seeded from (Seed, link index, direction). Delays are therefore a pure
+// function of the seed and the per-direction frame order — rerunning a
+// session replays the identical delay schedule — and since protocol results
+// depend only on message contents and per-link ordering (both preserved
+// here), verdicts and bit accounting are byte-identical to the other
+// transports no matter what delays are configured.
+type WAN struct {
+	// Latency is the fixed one-way delay per frame.
+	Latency time.Duration
+	// Jitter is the upper bound of the uniform per-frame jitter.
+	Jitter time.Duration
+	// Bandwidth is the link rate in bytes per second; 0 means unlimited.
+	Bandwidth int64
+	// Seed selects the jitter sequence.
+	Seed uint64
+	// Buf is the per-stage frame buffer depth; 0 means 1.
+	Buf int
+}
+
+// Name identifies the transport.
+func (WAN) Name() string { return "wan" }
+
+// Dial opens k delayed in-process links.
+func (w WAN) Dial(k int) ([]Link, error) {
+	buf := w.Buf
+	if buf <= 0 {
+		buf = 1
+	}
+	links := make([]Link, k)
+	for j := range links {
+		links[j] = w.newLink(j, buf)
+	}
+	return links, nil
+}
+
+func (w WAN) newLink(idx, buf int) Link {
+	ca := make(chan struct{})
+	cb := make(chan struct{})
+	da := make(chan struct{}) // A→B pump finished delivering
+	db := make(chan struct{}) // B→A pump finished delivering
+	a := &wanConn{
+		sendq:      make(chan Frame, buf),
+		in:         make(chan Frame, buf),
+		closed:     ca,
+		peerClosed: cb,
+		peerDone:   db,
+	}
+	b := &wanConn{
+		sendq:      make(chan Frame, buf),
+		in:         make(chan Frame, buf),
+		closed:     cb,
+		peerClosed: ca,
+		peerDone:   da,
+	}
+	// Direction seeds must differ per (link, direction) so jitter is not
+	// correlated across links; splitmix of distinct integers suffices.
+	go w.pump(a, b, da, w.Seed^splitmix64(uint64(2*idx+1)))
+	go w.pump(b, a, db, w.Seed^splitmix64(uint64(2*idx+2)))
+	return Link{A: a, B: b}
+}
+
+// pump moves frames from src's send queue to dst's inbox, sleeping each
+// frame's deterministic delay first. It exits — closing done on the way
+// out — once src closes and every accepted frame is delivered, or once dst
+// closes (remaining frames are dropped; the receiver is gone).
+func (w WAN) pump(src, dst *wanConn, done chan struct{}, seed uint64) {
+	defer close(done)
+	state := seed
+	deliver := func(f Frame) bool {
+		if d := w.delay(f.Bits, &state); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case dst.in <- f:
+			return true
+		case <-dst.closed:
+			return false
+		}
+	}
+	for {
+		select {
+		case f := <-src.sendq:
+			if !deliver(f) {
+				return
+			}
+		case <-src.closed:
+			// Flush frames the sender queued before closing, then exit.
+			for {
+				select {
+				case f := <-src.sendq:
+					if !deliver(f) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		case <-dst.closed:
+			return
+		}
+	}
+}
+
+// delay computes the deterministic hold time for a frame of the given bit
+// length, advancing the per-direction jitter state.
+func (w WAN) delay(bits int, state *uint64) time.Duration {
+	d := w.Latency
+	if w.Jitter > 0 {
+		u := float64(splitmixNext(state)>>11) / (1 << 53) // uniform [0,1)
+		d += time.Duration(u * float64(w.Jitter))
+	}
+	if w.Bandwidth > 0 {
+		d += time.Duration(int64(FrameSize(bits)) * int64(time.Second) / w.Bandwidth)
+	}
+	return d
+}
+
+// splitmixNext advances a splitmix64 state and returns the next value.
+func splitmixNext(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	return splitmix64(*state)
+}
+
+// splitmix64 is the splitmix64 finalizer.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// wanConn is one endpoint of a delayed link. It shares the chanConn close
+// semantics; the only difference is the pump between the two endpoints,
+// whose done signal lets Recv distinguish "peer closed but frames still in
+// flight" from "link fully drained".
+type wanConn struct {
+	sendq      chan Frame
+	in         chan Frame
+	closed     chan struct{}
+	peerClosed chan struct{}
+	peerDone   chan struct{} // peer→us pump exited (all frames delivered)
+	once       sync.Once
+	stats      endStats
+}
+
+// Send deposits f into the delay pipeline.
+func (c *wanConn) Send(ctx context.Context, f Frame) error {
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peerClosed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.sendq <- f:
+		c.stats.sent(f.Bits)
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peerClosed:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Recv blocks for the next delivered frame. After the peer closes, Recv
+// keeps delivering until the peer's pump reports every accepted frame
+// delivered — frames "on the wire" when the sender closed still arrive,
+// after their full simulated delay — and only then returns ErrClosed.
+func (c *wanConn) Recv(ctx context.Context) (Frame, error) {
+	select {
+	case f := <-c.in:
+		c.stats.received(f.Bits)
+		return f, nil
+	case <-c.closed:
+		return Frame{}, ErrClosed
+	case <-c.peerClosed:
+		select {
+		case f := <-c.in:
+			c.stats.received(f.Bits)
+			return f, nil
+		case <-c.peerDone:
+			// Pump finished: anything it delivered is in the inbox.
+			select {
+			case f := <-c.in:
+				c.stats.received(f.Bits)
+				return f, nil
+			default:
+				return Frame{}, ErrClosed
+			}
+		case <-c.closed:
+			return Frame{}, ErrClosed
+		case <-ctx.Done():
+			return Frame{}, ctx.Err()
+		}
+	case <-ctx.Done():
+		return Frame{}, ctx.Err()
+	}
+}
+
+// Close releases the endpoint; its pumps exit once drained. Idempotent.
+func (c *wanConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// Stats snapshots the endpoint's counters.
+func (c *wanConn) Stats() LinkStats { return c.stats.snapshot() }

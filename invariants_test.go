@@ -11,6 +11,7 @@ package tricomm
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"testing"
 )
 
@@ -141,6 +142,79 @@ func TestInvariantTriangleFreeNeverRejected(t *testing.T) {
 						t.Fatalf("triangle-free graph rejected with witness %v", rep.Witness)
 					}
 					checkAccounting(t, rep)
+				})
+			}
+		}
+	}
+}
+
+// TestInvariantTransportParity pins the transport-agnosticism contract
+// end to end: every protocol under every split scheme must produce a
+// seed-identical report — verdict, witness, total bits, per-player bits,
+// rounds, and per-phase attribution — whether its sessions run over
+// in-process channels, net.Pipe, TCP loopback sockets, or the simulated
+// WAN. Coordinator-model runs must additionally report wire bytes
+// consistent with the bit meter, and identical across transports (the
+// framing layout is shared).
+func TestInvariantTransportParity(t *testing.T) {
+	const (
+		n   = 128
+		d   = 6.0
+		eps = 0.25
+		k   = 4
+	)
+	transports := []struct {
+		name string
+		tr   Transport
+	}{
+		{"pipe", TransportPipe},
+		{"tcp", TransportTCP},
+		{"wan", TransportWAN},
+	}
+	seed := uint64(11)
+	g, certEps := FarGraph(n, d, eps, int64(seed))
+	for _, sc := range invariantSchemes {
+		cl, err := Split(g, k, sc.s, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pr := range invariantProtocols {
+			opts := Options{Protocol: pr.p, Eps: certEps, AvgDegree: g.AvgDegree()}
+			base, err := cl.Test(context.Background(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tc := range transports {
+				t.Run(fmt.Sprintf("%s/%s/%s", pr.name, sc.name, tc.name), func(t *testing.T) {
+					opts := opts
+					opts.Transport = tc.tr
+					got, err := cl.Test(context.Background(), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.TriangleFree != base.TriangleFree || got.Witness != base.Witness {
+						t.Fatalf("verdict diverged over %s: %+v vs %+v", tc.name, got, base)
+					}
+					if got.Bits != base.Bits || got.Rounds != base.Rounds {
+						t.Fatalf("accounting diverged over %s: bits %d/%d rounds %d/%d",
+							tc.name, got.Bits, base.Bits, got.Rounds, base.Rounds)
+					}
+					if !reflect.DeepEqual(got.PerPlayerBits, base.PerPlayerBits) {
+						t.Fatalf("per-player bits diverged over %s: %v vs %v",
+							tc.name, got.PerPlayerBits, base.PerPlayerBits)
+					}
+					if !reflect.DeepEqual(got.PhaseBits, base.PhaseBits) {
+						t.Fatalf("phase bits diverged over %s: %v vs %v",
+							tc.name, got.PhaseBits, base.PhaseBits)
+					}
+					if got.WireBytes != base.WireBytes {
+						t.Fatalf("wire bytes diverged over %s: %d vs %d",
+							tc.name, got.WireBytes, base.WireBytes)
+					}
+					if got.WireBytes > 0 && got.WireBytes < (got.Bits+7)/8 {
+						t.Fatalf("wire bytes %d below bits/8 (%d bits)", got.WireBytes, got.Bits)
+					}
+					checkAccounting(t, got)
 				})
 			}
 		}

@@ -30,11 +30,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"tricomm/internal/comm"
 	"tricomm/internal/graph"
 	"tricomm/internal/partition"
 	"tricomm/internal/protocol"
+	"tricomm/internal/transport"
 	"tricomm/internal/wire"
 	"tricomm/internal/xrand"
 )
@@ -94,6 +96,22 @@ const (
 	// SplitAll gives every player the entire edge set.
 	SplitAll
 )
+
+// ParseSplitScheme maps the CLI/API names onto SplitScheme values.
+func ParseSplitScheme(s string) (SplitScheme, error) {
+	switch s {
+	case "", "disjoint":
+		return SplitDisjoint, nil
+	case "duplicate":
+		return SplitDuplicate, nil
+	case "byvertex":
+		return SplitByVertex, nil
+	case "all":
+		return SplitAll, nil
+	default:
+		return 0, fmt.Errorf("tricomm: unknown split scheme %q", s)
+	}
+}
 
 func (s SplitScheme) partitioner() (partition.Partitioner, error) {
 	switch s {
@@ -210,6 +228,84 @@ const (
 	Exact
 )
 
+// Transport selects what carries the coordinator-model sessions of a test
+// run. Verdicts, witnesses, bits, rounds, and phase attribution are
+// transport-independent (pinned by the invariant suite); transports differ
+// only in wire mechanics and the Report.WireBytes timing on error paths.
+type Transport int
+
+// Available transports.
+const (
+	// TransportInProcess runs sessions over in-process channels — the
+	// zero-copy default.
+	TransportInProcess Transport = iota
+	// TransportPipe runs sessions over synchronous net.Pipe connections.
+	TransportPipe
+	// TransportTCP runs sessions over real TCP loopback sockets; every
+	// message is framed and crosses the kernel.
+	TransportTCP
+	// TransportWAN runs sessions over the simulated wide-area transport
+	// with deterministic latency, bandwidth, and jitter injection.
+	TransportWAN
+)
+
+// dialer maps the transport selector to its implementation.
+func (t Transport) dialer() (transport.Dialer, error) {
+	switch t {
+	case TransportInProcess:
+		return transport.Chan{}, nil
+	case TransportPipe:
+		return transport.Net{}, nil
+	case TransportTCP:
+		return transport.Net{TCP: true}, nil
+	case TransportWAN:
+		return transport.WAN{
+			Latency:   100 * time.Microsecond,
+			Jitter:    100 * time.Microsecond,
+			Bandwidth: 256 << 20, // 256 MB/s
+			Seed:      1,
+		}, nil
+	default:
+		return nil, fmt.Errorf("tricomm: unknown transport %d", int(t))
+	}
+}
+
+// ParseTransport maps the CLI/API names onto Transport values.
+func ParseTransport(s string) (Transport, error) {
+	switch s {
+	case "", "chan", "in-process":
+		return TransportInProcess, nil
+	case "pipe":
+		return TransportPipe, nil
+	case "tcp":
+		return TransportTCP, nil
+	case "wan":
+		return TransportWAN, nil
+	default:
+		return 0, fmt.Errorf("tricomm: unknown transport %q", s)
+	}
+}
+
+// ParseProtocol maps the CLI/API names onto Protocol values.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "", "auto", "sim-oblivious":
+		return SimultaneousOblivious, nil
+	case "interactive":
+		return Interactive, nil
+	case "blackboard":
+		return InteractiveBlackboard, nil
+	case "sim-low":
+		return SimultaneousLow, nil
+	case "sim-high":
+		return SimultaneousHigh, nil
+	case "exact":
+		return Exact, nil
+	default:
+		return 0, fmt.Errorf("tricomm: unknown protocol %q", s)
+	}
+}
+
 // Options configures a test run.
 type Options struct {
 	// Protocol selects the tester; Auto uses SimultaneousOblivious.
@@ -225,6 +321,9 @@ type Options struct {
 	// disjoint (no edge duplication), letting the Interactive protocol use
 	// the cheaper deterministic degree estimation of Lemma 3.2.
 	AssumeDisjoint bool
+	// Transport selects what carries the coordinator-model sessions
+	// (default in-process channels). Results are transport-independent.
+	Transport Transport
 }
 
 func (o Options) withDefaults() Options {
@@ -255,6 +354,12 @@ type Report struct {
 	PhaseBits map[string]int64
 	// Rounds is the number of protocol rounds.
 	Rounds int64
+	// WireBytes is the framed wire traffic of the run's coordinator-model
+	// sessions (headers included) — zero for purely simultaneous or
+	// blackboard protocols, which exchange no transport frames. The engine
+	// cross-checks it against Bits on every run (bytes ≥ link bits ÷ 8
+	// within the framing overhead).
+	WireBytes int64
 	// Protocol names the tester that ran.
 	Protocol string
 }
@@ -294,6 +399,7 @@ func report(name string, res protocol.Result) Report {
 		Bits:          res.Stats.TotalBits,
 		PerPlayerBits: res.Stats.PerPlayer,
 		Rounds:        res.Stats.Rounds,
+		WireBytes:     res.Stats.WireBytes,
 		Protocol:      name,
 	}
 	// The engine meter's phase counters are disjoint by construction
@@ -320,7 +426,7 @@ func (c *Cluster) Test(ctx context.Context, opts Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	top, err := c.topology()
+	top, err := c.transportTopology(opts)
 	if err != nil {
 		return Report{}, err
 	}
@@ -339,6 +445,24 @@ type Session struct {
 	top *comm.Topology
 }
 
+// transportTopology returns the cluster's cached topology, rebased onto
+// the transport opts selects. The expensive per-player state (the view
+// cache) is shared across transports.
+func (c *Cluster) transportTopology(opts Options) (*comm.Topology, error) {
+	top, err := c.topology()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Transport == TransportInProcess {
+		return top, nil
+	}
+	d, err := opts.Transport.dialer()
+	if err != nil {
+		return nil, err
+	}
+	return top.WithTransport(d), nil
+}
+
 // Session validates opts, binds the selected tester to the cluster, and
 // eagerly materializes the cluster's player views.
 func (c *Cluster) Session(opts Options) (*Session, error) {
@@ -347,7 +471,7 @@ func (c *Cluster) Session(opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	top, err := c.topology()
+	top, err := c.transportTopology(opts)
 	if err != nil {
 		return nil, err
 	}
