@@ -27,6 +27,7 @@ import (
 
 	tricomm "tricomm"
 	"tricomm/internal/graph"
+	"tricomm/internal/scenario"
 )
 
 // Result is one benchmark's measurement.
@@ -106,6 +107,27 @@ func run() error {
 type namedBench struct {
 	name string
 	fn   func(b *testing.B)
+}
+
+// scenarioBench measures one scenario family's generation hot path at its
+// default parameters (the same specs the registry-driven benchmarks in
+// internal/scenario track with ReportAllocs).
+func scenarioBench(family string) func(b *testing.B) {
+	return func(b *testing.B) {
+		sp, err := scenario.Parse(family)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rng.Seed(int64(i))
+			if _, err := scenario.Build(sp, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // coreBenchmarks mirrors the hot-path benchmarks in internal/graph and the
@@ -194,6 +216,10 @@ func coreBenchmarks() []namedBench {
 				graph.FarWithDegree(graph.FarParams{N: 4096, D: 8, Eps: 0.2}, rng)
 			}
 		}},
+		{"scenario/chung-lu", scenarioBench("chung-lu")},
+		{"scenario/sbm", scenarioBench("sbm")},
+		{"scenario/behrend-blowup", scenarioBench("behrend-blowup")},
+		{"scenario/dup-adversary", scenarioBench("dup-adversary")},
 		{"protocol/simlow-session", func(b *testing.B) {
 			g, _ := tricomm.FarGraph(4096, 8, 0.2, 3)
 			cluster, err := tricomm.Split(g, 8, tricomm.SplitDisjoint, 5)

@@ -18,6 +18,14 @@
 //	benchtable -only E3,E4      # just the probe experiments
 //	benchtable -csv results/    # also dump CSVs
 //	benchtable -json            # JSON array of tables on stdout
+//
+// Scenario mode runs a single declarative instance spec instead of the
+// registered experiments — any family from the scenario registry
+// (-list-scenarios prints the catalog), with per-trial rows that are
+// seed-exact with tricomm.RunScenario and tricommd jobs:
+//
+//	benchtable -scenario chung-lu -trials 5
+//	benchtable -scenario '{"family":"sbm","n":2048,"blocks":16}' -protocol interactive
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"tricomm"
 	"tricomm/internal/harness"
 )
 
@@ -57,13 +66,45 @@ func run() error {
 		jobs     = flag.Int("jobs", 0, "trial worker count (<= 0: GOMAXPROCS); tables are identical at any value")
 		parallel = flag.Int("parallel", 1, "experiments to run concurrently (output order is preserved; each carries its own -jobs pool, so in-flight trials ≈ jobs×parallel)")
 		jsonOut  = flag.Bool("json", false, "emit a JSON array of tables on stdout instead of text")
+		scen     = flag.String("scenario", "", "run one scenario (a registry family name or JSON spec) instead of the experiments")
+		listScen = flag.Bool("list-scenarios", false, "print the scenario catalog and exit")
+		k        = flag.Int("k", 4, "players (scenario mode)")
+		eps      = flag.Float64("eps", 0.2, "tester farness target (scenario mode)")
+		part     = flag.String("partition", "disjoint", "partition (scenario mode): "+strings.Join(tricomm.SplitSchemeNames(), " | "))
+		proto    = flag.String("protocol", "sim-oblivious", "protocol (scenario mode): "+strings.Join(tricomm.ProtocolNames(), " | "))
+		transp   = flag.String("transport", "chan", "session transport (scenario mode): "+strings.Join(tricomm.TransportNames(), " | "))
 	)
 	flag.Parse()
+
+	if *listScen {
+		fmt.Print(tricomm.ScenarioUsage())
+		return nil
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cfg := harness.RunConfig{Seed: *seed, Quick: *quick, Trials: *trials, Jobs: *jobs}
+
+	if *scen != "" {
+		trials := cfg.Trials
+		if trials <= 0 {
+			trials = 3
+		}
+		table, err := harness.ScenarioTable(ctx, cfg, harness.ScenarioConfig{
+			Spec: *scen, K: *k, Scheme: *part, Protocol: *proto, Transport: *transp,
+			Eps: *eps, KnownDegree: true,
+		}, trials)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode([]*harness.Table{table})
+		}
+		return table.Render(os.Stdout)
+	}
 
 	var selected []harness.Experiment
 	if *only == "" {

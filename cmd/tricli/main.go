@@ -1,15 +1,19 @@
 // Command tricli is the client for a running tricommd daemon.
 //
 //	tricli -server http://127.0.0.1:7341 submit -kind far -n 512 -d 8 -trials 5 -wait
+//	tricli -server http://127.0.0.1:7341 submit -scenario chung-lu -trials 5 -wait
 //	tricli -server http://127.0.0.1:7341 get -job job-3
 //	tricli -server http://127.0.0.1:7341 watch -job job-3
 //	tricli -server http://127.0.0.1:7341 load -jobs 200 -c 8 -n 256
 //	tricli -server http://127.0.0.1:7341 stats
+//	tricli list-scenarios
 //
 // submit prints the job id (and, with -wait, streams per-trial results
 // until the verdict summary). load is the throughput generator: it
 // submits -jobs jobs from -c concurrent clients and reports jobs/sec and
-// the verdict tally.
+// the verdict tally. list-scenarios prints the registry-generated
+// scenario catalog — every listed family is submittable via -scenario
+// (or as {"graph": {"family": ...}} over raw HTTP).
 package main
 
 import (
@@ -18,10 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tricomm"
+	"tricomm/internal/scenario"
 	"tricomm/internal/service"
 )
 
@@ -57,6 +64,9 @@ func run(args []string) error {
 		return cmdLoad(ctx, cl, rest[1:])
 	case "stats":
 		return cmdStats(ctx, cl)
+	case "list-scenarios":
+		fmt.Print(tricomm.ScenarioUsage())
+		return nil
 	default:
 		global.Usage()
 		return fmt.Errorf("unknown subcommand %q", rest[0])
@@ -65,30 +75,45 @@ func run(args []string) error {
 
 func usage(fs *flag.FlagSet) func() {
 	return func() {
-		fmt.Fprintf(fs.Output(), "usage: tricli [-server URL] <submit|get|watch|load|stats> [flags]\n")
+		fmt.Fprintf(fs.Output(), "usage: tricli [-server URL] <submit|get|watch|load|stats|list-scenarios> [flags]\n")
 		fs.PrintDefaults()
 	}
 }
 
-// jobFlags registers the job-spec flags shared by submit and load.
-func jobFlags(fs *flag.FlagSet) func() service.JobSpec {
+// jobFlags registers the job-spec flags shared by submit and load. The
+// returned constructor resolves -scenario (a family name or JSON spec)
+// through the scenario registry; the legacy -kind/-n/-d/-eps flags keep
+// working and route through the same registry server-side.
+func jobFlags(fs *flag.FlagSet) func() (service.JobSpec, error) {
 	var (
-		kind      = fs.String("kind", "far", "graph kind: far | random | bipartite")
+		kind      = fs.String("kind", "far", "legacy graph kind: far | random | bipartite (see list-scenarios for the full catalog)")
+		scen      = fs.String("scenario", "", "scenario: a registry family name or JSON spec; overrides -kind/-n/-d/-eps")
 		n         = fs.Int("n", 512, "number of vertices")
 		d         = fs.Float64("d", 8, "target average degree")
 		eps       = fs.Float64("eps", 0.25, "farness parameter (construction and tester)")
 		k         = fs.Int("k", 4, "number of players")
-		part      = fs.String("partition", "disjoint", "partition: disjoint | duplicate | byvertex | all")
-		proto     = fs.String("protocol", "sim-oblivious", "protocol: interactive | blackboard | sim-low | sim-high | sim-oblivious | exact")
-		transport = fs.String("transport", "chan", "session transport: chan | pipe | tcp | wan")
+		part      = fs.String("partition", "disjoint", "partition: "+strings.Join(tricomm.SplitSchemeNames(), " | "))
+		proto     = fs.String("protocol", "sim-oblivious", "protocol: "+strings.Join(tricomm.ProtocolNames(), " | "))
+		transport = fs.String("transport", "chan", "session transport: "+strings.Join(tricomm.TransportNames(), " | "))
 		trials    = fs.Int("trials", 1, "trials per job")
 		seed      = fs.Uint64("seed", 1, "base seed")
 		knownDeg  = fs.Bool("known-degree", true, "tell the protocol the true average degree")
 		check     = fs.Bool("check", false, "also report each instance's ground truth")
 	)
-	return func() service.JobSpec {
+	return func() (service.JobSpec, error) {
+		graph := service.GraphSpec{Kind: *kind, Spec: scenario.Spec{N: *n, D: *d, Eps: *eps}}
+		if *kind != "far" {
+			graph.Eps = 0
+		}
+		if *scen != "" {
+			sp, err := scenario.Parse(*scen)
+			if err != nil {
+				return service.JobSpec{}, err
+			}
+			graph = service.GraphSpec{Spec: sp}
+		}
 		return service.JobSpec{
-			Graph:       service.GraphSpec{Kind: *kind, N: *n, D: *d, Eps: *eps},
+			Graph:       graph,
 			K:           *k,
 			Partition:   *part,
 			Protocol:    *proto,
@@ -98,7 +123,7 @@ func jobFlags(fs *flag.FlagSet) func() service.JobSpec {
 			Transport:   *transport,
 			Seed:        *seed,
 			Check:       *check,
-		}
+		}, nil
 	}
 }
 
@@ -109,7 +134,11 @@ func cmdSubmit(ctx context.Context, cl *service.Client, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ji, err := cl.Submit(ctx, spec())
+	js, err := spec()
+	if err != nil {
+		return err
+	}
+	ji, err := cl.Submit(ctx, js)
 	if err != nil {
 		return err
 	}
@@ -176,7 +205,10 @@ func cmdLoad(ctx context.Context, cl *service.Client, args []string) error {
 	if *jobs < 1 || *conc < 1 {
 		return fmt.Errorf("load: -jobs and -c must be positive")
 	}
-	base := spec()
+	base, err := spec()
+	if err != nil {
+		return err
+	}
 	var (
 		next    atomic.Int64
 		found   atomic.Int64

@@ -7,19 +7,24 @@
 // and audits the daemon's verdicts instead, regenerating each trial's
 // instance locally from the reported per-trial seed.
 //
+// Instances come from the scenario registry: -scenario accepts any
+// registered family name or a JSON spec (-list-scenarios prints the
+// catalog), while the legacy -kind/-n/-d/-eps flags keep working and are
+// routed through the same registry.
+//
 // Examples:
 //
 //	tritest -n 2048 -d 8 -eps 0.2 -k 8 -protocol sim-oblivious
-//	tritest -n 1024 -d 64 -k 4 -protocol interactive -partition duplicate -transport tcp
-//	tritest -n 512 -kind bipartite -protocol exact
-//	tritest -server http://127.0.0.1:7341 -protocol exact -trials 5
+//	tritest -scenario chung-lu -protocol interactive -partition duplicate
+//	tritest -scenario '{"family":"behrend-blowup","m":16,"blowup":4}' -protocol exact
+//	tritest -server http://127.0.0.1:7341 -scenario dup-adversary -trials 5
 //
 // Health-check semantics: a witness that is not a real triangle of the
 // instance is always a hard failure (soundness is unconditional). A missed
-// triangle is a failure too — for -kind far the construction guarantees
-// ε-farness, where the protocols succeed with high probability, so use
-// -kind far (or -protocol exact, which never misses) for scripted checks;
-// on -kind random instances close to triangle-free a miss can be a
+// triangle is a failure too — for certified-far scenarios the construction
+// guarantees ε-farness, where the protocols succeed with high probability,
+// so use a certified family (or -protocol exact, which never misses) for
+// scripted checks; on instances close to triangle-free a miss can be a
 // legitimate tester outcome rather than a daemon fault.
 package main
 
@@ -28,9 +33,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tricomm"
 	"tricomm/internal/harness/runner"
+	"tricomm/internal/scenario"
 	"tricomm/internal/service"
 )
 
@@ -53,10 +60,12 @@ func run() (int, error) {
 		d        = flag.Float64("d", 8, "target average degree")
 		eps      = flag.Float64("eps", 0.2, "farness parameter")
 		k        = flag.Int("k", 4, "number of players")
-		kind     = flag.String("kind", "far", "graph kind: far | random | bipartite")
-		proto    = flag.String("protocol", "sim-oblivious", "protocol: interactive | blackboard | sim-low | sim-high | sim-oblivious | exact")
-		part     = flag.String("partition", "disjoint", "partition: disjoint | duplicate | byvertex | all")
-		transp   = flag.String("transport", "chan", "session transport: chan | pipe | tcp | wan")
+		kind     = flag.String("kind", "far", "legacy graph kind: far | random | bipartite (see -scenario for the full catalog)")
+		scen     = flag.String("scenario", "", "scenario: a registry family name or JSON spec; overrides -kind/-n/-d/-eps")
+		listScen = flag.Bool("list-scenarios", false, "print the scenario catalog and exit")
+		proto    = flag.String("protocol", "sim-oblivious", "protocol: "+strings.Join(tricomm.ProtocolNames(), " | "))
+		part     = flag.String("partition", "disjoint", "partition: "+strings.Join(tricomm.SplitSchemeNames(), " | "))
+		transp   = flag.String("transport", "chan", "session transport: "+strings.Join(tricomm.TransportNames(), " | "))
 		seed     = flag.Int64("seed", 1, "random seed")
 		knownDeg = flag.Bool("known-degree", true, "tell the protocol the true average degree")
 		check    = flag.Bool("check", true, "compare the verdict against ground truth; exit 2 with the failing seed on disagreement")
@@ -65,6 +74,10 @@ func run() (int, error) {
 	)
 	flag.Parse()
 
+	if *listScen {
+		fmt.Print(tricomm.ScenarioUsage())
+		return 0, nil
+	}
 	if _, err := parseScheme(*part); err != nil {
 		return 1, err
 	}
@@ -74,31 +87,34 @@ func run() (int, error) {
 	if _, err := tricomm.ParseTransport(*transp); err != nil {
 		return 1, err
 	}
+	spec, err := resolveSpec(*scen, *kind, *n, *d, *eps)
+	if err != nil {
+		return 1, err
+	}
 
 	if *server != "" {
 		return runServer(serverJob{
-			base: *server, kind: *kind, n: *n, d: *d, eps: *eps, k: *k,
+			base: *server, spec: spec, k: *k, eps: *eps,
 			proto: *proto, part: *part, transport: *transp,
 			seed: uint64(*seed), trials: *trials, knownDeg: *knownDeg, check: *check,
 		})
 	}
-	return runLocal(*kind, *n, *d, *eps, *k, *proto, *part, *transp, *seed, *knownDeg, *check)
+	return runLocal(spec, *eps, *k, *proto, *part, *transp, *seed, *knownDeg, *check)
 }
 
-// generate draws the instance for one seed; the same construction the
-// daemon uses, so server-mode audits can regenerate any trial.
-func generate(kind string, n int, d, eps float64, seed int64) (*tricomm.Graph, float64, error) {
-	switch kind {
-	case "far":
-		g, certEps := tricomm.FarGraph(n, d, eps, seed)
-		return g, certEps, nil
-	case "random":
-		return tricomm.RandomGraph(n, d, seed), 0, nil
-	case "bipartite":
-		return tricomm.BipartiteGraph(n, d, seed), 0, nil
-	default:
-		return nil, 0, fmt.Errorf("unknown -kind %q", kind)
+// resolveSpec turns either a -scenario argument or the legacy
+// -kind/-n/-d/-eps flags into one canonical scenario spec — the same
+// construction the daemon uses, so server-mode audits can regenerate any
+// trial.
+func resolveSpec(scen, kind string, n int, d, eps float64) (scenario.Spec, error) {
+	if scen != "" {
+		return scenario.Parse(scen)
 	}
+	sp := scenario.Spec{Family: kind, N: n, D: d}
+	if kind == "far" {
+		sp.Eps = eps
+	}
+	return scenario.Canonical(sp)
 }
 
 // audit compares one verdict against the instance's ground truth. It
@@ -125,16 +141,17 @@ func audit(g *tricomm.Graph, triangleFree bool, witness *tricomm.Triangle, seed 
 	return ""
 }
 
-func runLocal(kind string, n int, d, eps float64, k int, proto, part, transp string, seed int64, knownDeg, check bool) (int, error) {
-	g, certEps, err := generate(kind, n, d, eps, seed)
+func runLocal(spec scenario.Spec, eps float64, k int, proto, part, transp string, seed int64, knownDeg, check bool) (int, error) {
+	si, err := tricomm.GenerateScenario(spec.JSON(), seed)
 	if err != nil {
 		return 1, err
 	}
+	g := si.Graph
 	scheme, _ := parseScheme(part)
 	protocol, _ := parseProtocol(proto)
 	transport, _ := tricomm.ParseTransport(transp)
 
-	cluster, err := tricomm.Split(g, k, scheme, uint64(seed))
+	cluster, err := si.Cluster(k, scheme, uint64(seed))
 	if err != nil {
 		return 1, err
 	}
@@ -143,11 +160,18 @@ func runLocal(kind string, n int, d, eps float64, k int, proto, part, transp str
 		opts.AvgDegree = g.AvgDegree()
 	}
 
-	fmt.Printf("graph: n=%d m=%d avg-degree=%.2f kind=%s", g.N(), g.M(), g.AvgDegree(), kind)
-	if certEps > 0 {
-		fmt.Printf(" certified-eps=%.3f", certEps)
+	fmt.Printf("graph: n=%d m=%d avg-degree=%.2f scenario=%s", g.N(), g.M(), g.AvgDegree(), spec.Family)
+	if si.CertEps > 0 {
+		fmt.Printf(" certified-eps=%.3f", si.CertEps)
 	}
-	fmt.Printf("\nplayers: k=%d partition=%s transport=%s\n", k, part, transp)
+	if si.TriangleFree {
+		fmt.Printf(" triangle-free-by-construction")
+	}
+	if si.Players != nil {
+		fmt.Printf("\nplayers: k=%d assignment=scenario-prescribed transport=%s\n", len(si.Players), transp)
+	} else {
+		fmt.Printf("\nplayers: k=%d partition=%s transport=%s\n", k, part, transp)
+	}
 
 	rep, err := cluster.Test(context.Background(), opts)
 	if err != nil {
@@ -179,9 +203,10 @@ func runLocal(kind string, n int, d, eps float64, k int, proto, part, transp str
 }
 
 type serverJob struct {
-	base, kind      string
-	n, k, trials    int
-	d, eps          float64
+	base            string
+	spec            scenario.Spec
+	eps             float64
+	k, trials       int
 	proto, part     string
 	transport       string
 	seed            uint64
@@ -197,7 +222,7 @@ func runServer(j serverJob) (int, error) {
 		return 1, fmt.Errorf("daemon unhealthy: %w", err)
 	}
 	ji, err := cl.Submit(ctx, service.JobSpec{
-		Graph:       service.GraphSpec{Kind: j.kind, N: j.n, D: j.d, Eps: j.eps},
+		Graph:       service.GraphSpec{Spec: j.spec},
 		K:           j.k,
 		Partition:   j.part,
 		Protocol:    j.proto,
@@ -237,7 +262,7 @@ func runServer(j serverJob) (int, error) {
 				o.Trial, o.Seed, runner.TrialSeed(baseSeed, o.Trial))
 			return nil
 		}
-		g, _, err := generate(j.kind, j.n, j.d, j.eps, int64(o.Seed))
+		si, err := tricomm.GenerateScenario(j.spec.JSON(), int64(o.Seed))
 		if err != nil {
 			return err
 		}
@@ -245,7 +270,7 @@ func runServer(j serverJob) (int, error) {
 		if o.Witness != nil {
 			w = &tricomm.Triangle{A: o.Witness[0], B: o.Witness[1], C: o.Witness[2]}
 		}
-		if msg := audit(g, o.TriangleFree, w, int64(o.Seed)); msg != "" {
+		if msg := audit(si.Graph, o.TriangleFree, w, int64(o.Seed)); msg != "" {
 			failures++
 			fmt.Fprintf(os.Stderr, "tritest: FAIL trial %d %s\n", o.Trial, msg)
 		}
@@ -272,7 +297,7 @@ func parseScheme(s string) (tricomm.SplitScheme, error) {
 
 func parseProtocol(s string) (tricomm.Protocol, error) {
 	if s == "" {
-		return 0, fmt.Errorf("unknown -protocol %q", s)
+		return 0, fmt.Errorf("unknown -protocol %q (valid: %s)", s, strings.Join(tricomm.ProtocolNames(), ", "))
 	}
 	return tricomm.ParseProtocol(s)
 }

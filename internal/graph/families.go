@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// This file holds the newer workload families behind the scenario layer
+// (internal/scenario): power-law degree sequences, planted communities,
+// and the Behrend blowup. Like every generator in this package they are
+// deterministic functions of their *rand.Rand argument and stream edges
+// directly into a Builder — no intermediate edge slices.
+
+// addErdosRenyiRange adds each unordered pair inside [lo, hi) independently
+// with probability p, using the same geometric-skipping walk (and the same
+// rng consumption) as ErdosRenyi.
+func addErdosRenyiRange(b *Builder, lo, hi int, p float64, rng *rand.Rand) {
+	n := hi - lo
+	if n <= 1 || p <= 0 {
+		return
+	}
+	if p >= 1 {
+		for u := lo; u < hi; u++ {
+			for v := u + 1; v < hi; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+		return
+	}
+	logq := math.Log1p(-p)
+	total := int64(n) * int64(n-1) / 2
+	var i int64 = -1
+	for {
+		u := rng.Float64()
+		skip := int64(math.Floor(math.Log(1-u) / logq))
+		i += skip + 1
+		if i >= total {
+			return
+		}
+		u0, v0 := pairFromIndex(n, i)
+		b.AddEdge(lo+u0, lo+v0)
+	}
+}
+
+// ChungLuParams controls ChungLu.
+type ChungLuParams struct {
+	N     int     // number of vertices
+	D     float64 // target average degree (mean of the weight sequence)
+	Alpha float64 // power-law exponent of the degree distribution (> 2)
+}
+
+// weightScratch recycles the Chung–Lu weight array between builds.
+var weightPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// ChungLu samples the Chung–Lu random graph for a power-law expected
+// degree sequence: vertex v gets weight w_v ∝ (v+1)^{-1/(α-1)} scaled so
+// the mean weight is D, and each pair {u,v} is an edge independently with
+// probability min(1, w_u·w_v / Σw). Low ids are the heavy head of the
+// distribution. Sampling uses the Miller–Hagberg skipping scheme over the
+// descending weight order, so the running time is O(N + |E|) rather than
+// O(N²).
+func ChungLu(p ChungLuParams, rng *rand.Rand) *Graph {
+	n := p.N
+	b := NewBuilder(n)
+	if n <= 1 || p.D <= 0 {
+		return b.Build()
+	}
+	wp := weightPool.Get().(*[]float64)
+	w := (*wp)[:0]
+	if cap(w) < n {
+		w = make([]float64, 0, n)
+	}
+	exp := -1.0 / (p.Alpha - 1)
+	sum := 0.0
+	for v := 0; v < n; v++ {
+		r := math.Pow(float64(v+1), exp)
+		w = append(w, r)
+		sum += r
+	}
+	scale := p.D * float64(n) / sum
+	for v := range w {
+		w[v] *= scale
+	}
+	W := p.D * float64(n) // Σ w after scaling
+	for u := 0; u < n-1; u++ {
+		v := u + 1
+		q := math.Min(1, w[u]*w[v]/W)
+		for v < n && q > 0 {
+			if q < 1 {
+				// Geometric skip at rate q; thin to the true (smaller)
+				// probability at the landing site below.
+				r := rng.Float64()
+				v += int(math.Floor(math.Log(1-r) / math.Log1p(-q)))
+				if v >= n {
+					break
+				}
+			}
+			pv := math.Min(1, w[u]*w[v]/W)
+			if pv >= q || rng.Float64() < pv/q {
+				b.AddEdge(u, v)
+			}
+			v++
+			if v < n {
+				q = math.Min(1, w[u]*w[v]/W)
+			}
+		}
+	}
+	*wp = w
+	weightPool.Put(wp)
+	return b.Build()
+}
+
+// PlantedPartitionParams controls PlantedPartition.
+type PlantedPartitionParams struct {
+	N      int     // number of vertices
+	Blocks int     // number of communities (contiguous, near-equal sizes)
+	PIn    float64 // within-community edge probability
+	POut   float64 // cross-community edge probability
+}
+
+// PlantedPartition samples the planted-partition / stochastic block model:
+// vertices split into Blocks contiguous communities of near-equal size,
+// same-community pairs are edges with probability PIn and cross-community
+// pairs with probability POut. With PIn ≫ POut the communities are
+// triangle-rich while the global graph stays sparse — the regime where
+// triangle mass hides inside clusters a uniform edge sample rarely enters
+// twice.
+func PlantedPartition(p PlantedPartitionParams, rng *rand.Rand) *Graph {
+	if p.Blocks < 1 {
+		panic(fmt.Sprintf("graph: PlantedPartition needs at least one block, got %d", p.Blocks))
+	}
+	b := NewBuilder(p.N)
+	lo := func(i int) int { return i * p.N / p.Blocks }
+	for i := 0; i < p.Blocks; i++ {
+		addErdosRenyiRange(b, lo(i), lo(i+1), p.PIn, rng)
+	}
+	for i := 0; i < p.Blocks; i++ {
+		for j := i + 1; j < p.Blocks; j++ {
+			addBipartite(b, lo(i), lo(i+1), lo(j), lo(j+1), p.POut, rng)
+		}
+	}
+	return b.Build()
+}
+
+// BehrendBlowupGraph is the blown-up Behrend instance with its
+// certificate.
+type BehrendBlowupGraph struct {
+	// G is the blowup graph on 6·M·B vertices (base vertex v becomes the
+	// cloud [v·B, (v+1)·B)).
+	G *Graph
+	// M is the base Behrend parameter, B the blowup factor.
+	M, B int
+	// Planted is a family of M·|S|·B² pairwise edge-disjoint triangles
+	// covering every edge exactly once, so G is exactly 1/3-far from
+	// triangle-free.
+	Planted []Triangle
+}
+
+// NewBehrendBlowup replaces every vertex of the Behrend graph for
+// parameter m with an independent cloud of b clones and every edge with
+// the complete bipartite graph between the clouds. Each base triangle
+// {x,y,z} blows up into b³ triangles, of which the Latin-square family
+// {(x_i, y_j, z_{(i+j) mod b})} is pairwise edge-disjoint and covers each
+// blown-up edge exactly once — the graph stays exactly 1/3-far while its
+// density is tunable: n = 6mb vertices, 3·m·|S|·b² edges, average degree
+// |S|·b. This is the §5 direction ("sophisticated utilization of Behrend
+// graphs") at any target density.
+func NewBehrendBlowup(m, b int) BehrendBlowupGraph {
+	if m < 1 || b < 1 {
+		panic(fmt.Sprintf("graph: NewBehrendBlowup needs m, b >= 1 (m=%d, b=%d)", m, b))
+	}
+	s := SalemSpencer(m)
+	n := 6 * m * b
+	bd := NewBuilder(n)
+	out := BehrendBlowupGraph{M: m, B: b}
+	clone := func(v, i int) int { return v*b + i }
+	for x := 0; x < m; x++ {
+		for _, a := range s {
+			vy := m + x + a     // in [m, 3m)
+			vz := 3*m + x + 2*a // in [3m, 6m)
+			for i := 0; i < b; i++ {
+				for j := 0; j < b; j++ {
+					bd.AddEdge(clone(x, i), clone(vy, j))
+					bd.AddEdge(clone(vy, i), clone(vz, j))
+					bd.AddEdge(clone(x, i), clone(vz, j))
+					out.Planted = append(out.Planted, Triangle{
+						A: clone(x, i), B: clone(vy, j), C: clone(vz, (i+j)%b),
+					}.Canon())
+				}
+			}
+		}
+	}
+	out.G = bd.Build()
+	return out
+}

@@ -15,31 +15,7 @@ import (
 // expected running time is O(n + p·n²).
 func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
 	b := NewBuilder(n)
-	if p > 0 && n > 1 {
-		if p >= 1 {
-			for u := 0; u < n; u++ {
-				for v := u + 1; v < n; v++ {
-					b.AddEdge(u, v)
-				}
-			}
-			return b.Build()
-		}
-		logq := math.Log1p(-p)
-		total := int64(n) * int64(n-1) / 2
-		var i int64 = -1
-		for {
-			u := rng.Float64()
-			skip := int64(math.Floor(math.Log(1-u) / logq))
-			i += skip + 1
-			if i >= total {
-				break
-			}
-			// Map linear index i to pair (u, v), u < v, row-major over rows
-			// of decreasing length.
-			u0, v0 := pairFromIndex(n, i)
-			b.AddEdge(u0, v0)
-		}
-	}
+	addErdosRenyiRange(b, 0, n, p, rng)
 	return b.Build()
 }
 

@@ -34,6 +34,7 @@ func buildRegistry() []Experiment {
 		e11Streaming(),
 		e12Behrend(),
 		e13Bucketing(),
+		e14ScenarioSweep(),
 	}
 }
 

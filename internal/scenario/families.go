@@ -1,0 +1,540 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tricomm/internal/graph"
+)
+
+// allFamilies assembles the registry (consumed by the scenario.go
+// variable initializer; no init functions, matching the harness's
+// experiment registry idiom).
+var allFamilies = []Family{
+	erFamily(),
+	randomFamily(),
+	bipartiteFamily(),
+	farFamily(),
+	denseCoreFamily(),
+	bucketStressFamily(),
+	hiddenBlockFamily(),
+	disjointTrianglesFamily(),
+	tripartiteFamily(),
+	completeFamily(),
+	cycleFamily(),
+	starFamily(),
+	behrendFamily(),
+	chungLuFamily(),
+	sbmFamily(),
+	behrendBlowupFamily(),
+	dupAdversaryFamily(),
+}
+
+// packCertificate derives the certificate of a construction whose
+// triangles are pairwise edge-disjoint by design: the greedy packing then
+// recovers every triangle, so |pack| / |E| is the exact certified
+// farness, not just a lower bound.
+func packCertificate(g *graph.Graph) ([]graph.Triangle, float64) {
+	planted := g.PackTriangles()
+	if g.M() == 0 || len(planted) == 0 {
+		return nil, 0
+	}
+	return planted, float64(len(planted)) / float64(g.M())
+}
+
+func erFamily() Family {
+	return Family{
+		Name:   "er",
+		Doc:    "Erdős–Rényi G(n, p): every pair is an edge independently with probability p",
+		Params: "n (default 512), p (default 0.02)",
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{N: defInt(sp.N, 512), P: defFloat(sp.P, 0.02)}
+			if err := checkN(out.N); err != nil {
+				return Spec{}, err
+			}
+			if err := checkProb("p", out.P); err != nil {
+				return Spec{}, err
+			}
+			if err := checkEdgeBudget(out.P * float64(out.N) * float64(out.N-1) / 2); err != nil {
+				return Spec{}, err
+			}
+			return out, nil
+		},
+		build: func(sp Spec, rng *rand.Rand) Instance {
+			return Instance{G: graph.ErdosRenyi(sp.N, sp.P, rng)}
+		},
+	}
+}
+
+func randomFamily() Family {
+	return Family{
+		Name:   "random",
+		Doc:    "Erdős–Rényi graph with expected average degree d",
+		Params: "n (default 512), d (default 8)",
+		canon:  canonND(512, 8),
+		build: func(sp Spec, rng *rand.Rand) Instance {
+			return Instance{G: graph.RandomAvgDegree(sp.N, sp.D, rng)}
+		},
+	}
+}
+
+func bipartiteFamily() Family {
+	return Family{
+		Name:         "bipartite",
+		Doc:          "random bipartite graph with expected average degree d (triangle-free by construction)",
+		Params:       "n (default 512), d (default 8)",
+		TriangleFree: true,
+		canon:        canonND(512, 8),
+		build: func(sp Spec, rng *rand.Rand) Instance {
+			return Instance{G: graph.BipartiteAvgDegree(sp.N, sp.D, rng)}
+		},
+	}
+}
+
+// canonND is the shared canonicalizer for the (n, d) families.
+func canonND(defN int, defD float64) func(Spec) (Spec, error) {
+	return func(sp Spec) (Spec, error) {
+		out := Spec{N: defInt(sp.N, defN), D: defFloat(sp.D, defD)}
+		if err := checkN(out.N); err != nil {
+			return Spec{}, err
+		}
+		if out.D < 0 || out.D > float64(out.N) {
+			return Spec{}, fmt.Errorf("d %v out of range [0, n]", out.D)
+		}
+		if err := checkEdgeBudget(out.D * float64(out.N) / 2); err != nil {
+			return Spec{}, err
+		}
+		return out, nil
+	}
+}
+
+func farFamily() Family {
+	return Family{
+		Name:      "far",
+		Doc:       "certifiably eps-far instance: planted K_{a,a,a} blocks plus triangle-free noise",
+		Params:    "n (default 512), d (default 8), eps (default 0.2, at most 1/3)",
+		Certified: true,
+		canon:     canonFarLike(512, 8, 0.2),
+		build: func(sp Spec, rng *rand.Rand) Instance {
+			fg := graph.FarWithDegree(graph.FarParams{N: sp.N, D: sp.D, Eps: sp.Eps}, rng)
+			return Instance{G: fg.G, Planted: fg.Planted, CertEps: fg.CertEps}
+		},
+	}
+}
+
+// canonFarLike is the shared canonicalizer for FarWithDegree-backed
+// families ("far" and the duplication adversary).
+func canonFarLike(defN int, defD, defEps float64) func(Spec) (Spec, error) {
+	return func(sp Spec) (Spec, error) {
+		out := Spec{N: defInt(sp.N, defN), D: defFloat(sp.D, defD), Eps: defFloat(sp.Eps, defEps)}
+		if err := checkN(out.N); err != nil {
+			return Spec{}, err
+		}
+		if out.D < 1 || out.D > float64(out.N) {
+			return Spec{}, fmt.Errorf("d %v out of range [1, n]", out.D)
+		}
+		if out.Eps <= 0 || out.Eps > 1.0/3 {
+			return Spec{}, fmt.Errorf("eps %v out of range (0, 1/3]", out.Eps)
+		}
+		if err := checkEdgeBudget(out.D * float64(out.N) / 2); err != nil {
+			return Spec{}, err
+		}
+		return out, nil
+	}
+}
+
+func denseCoreFamily() Family {
+	return Family{
+		Name:      "dense-core",
+		Doc:       "§3.4.2 planted dense core: a few high-degree hubs carry every triangle",
+		Params:    "n (default 2048), hubs (default 4), pairs (default 64, triangle-vees per hub)",
+		Certified: true,
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{N: defInt(sp.N, 2048), Hubs: defInt(sp.Hubs, 4), Pairs: defInt(sp.Pairs, 64)}
+			if err := checkN(out.N); err != nil {
+				return Spec{}, err
+			}
+			if out.Hubs < 1 || out.Pairs < 1 {
+				return Spec{}, fmt.Errorf("hubs and pairs must be positive (hubs=%d, pairs=%d)", out.Hubs, out.Pairs)
+			}
+			if need := out.Hubs + 2*out.Hubs*out.Pairs; need > out.N {
+				return Spec{}, fmt.Errorf("needs %d vertices, have n=%d", need, out.N)
+			}
+			return out, nil
+		},
+		build: func(sp Spec, rng *rand.Rand) Instance {
+			g := graph.PlantedDenseCore(graph.DenseCoreParams{N: sp.N, Hubs: sp.Hubs, Pairs: sp.Pairs}, rng)
+			planted, eps := packCertificate(g)
+			return Instance{G: g, Planted: planted, CertEps: eps}
+		},
+	}
+}
+
+func bucketStressFamily() Family {
+	return Family{
+		Name:      "bucket-stress",
+		Doc:       "degree scales spanning powers of 3, triangles planted at one level only",
+		Params:    "n (default 4000), levels (default 5), hubs per level (default 2), tri_level (default 1)",
+		Certified: true,
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{N: defInt(sp.N, 4000), Levels: defInt(sp.Levels, 5), Hubs: defInt(sp.Hubs, 2),
+				TriLevel: defInt(sp.TriLevel, 1)}
+			if err := checkN(out.N); err != nil {
+				return Spec{}, err
+			}
+			if out.Levels < 1 || out.Levels > 12 {
+				return Spec{}, fmt.Errorf("levels %d out of range [1, 12]", out.Levels)
+			}
+			if out.Hubs < 1 {
+				return Spec{}, fmt.Errorf("hubs %d must be positive", out.Hubs)
+			}
+			if out.TriLevel < 0 || out.TriLevel >= out.Levels {
+				return Spec{}, fmt.Errorf("tri_level %d out of range [0, levels)", out.TriLevel)
+			}
+			need := 0
+			deg := 2
+			for l := 0; l < out.Levels; l++ {
+				need += out.Hubs * (1 + deg)
+				deg *= 3
+			}
+			if need > out.N {
+				return Spec{}, fmt.Errorf("needs %d vertices, have n=%d", need, out.N)
+			}
+			return out, nil
+		},
+		build: func(sp Spec, rng *rand.Rand) Instance {
+			g := graph.BucketStress(graph.BucketStressParams{
+				N: sp.N, Levels: sp.Levels, HubsPer: sp.Hubs, TriLevel: sp.TriLevel}, rng)
+			planted, eps := packCertificate(g)
+			return Instance{G: g, Planted: planted, CertEps: eps}
+		},
+	}
+}
+
+func hiddenBlockFamily() Family {
+	return Family{
+		Name:      "hidden-block",
+		Doc:       "§3.3 hidden K_{a,a,a} block among triangle-free bipartite noise",
+		Params:    "n (default 4096), a (default 16, block side), d (default 4, noise degree)",
+		Certified: true,
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{N: defInt(sp.N, 4096), A: defInt(sp.A, 16), D: defFloat(sp.D, 4)}
+			if err := checkN(out.N); err != nil {
+				return Spec{}, err
+			}
+			if out.A < 1 {
+				return Spec{}, fmt.Errorf("block side a %d must be positive", out.A)
+			}
+			if 3*out.A > out.N {
+				return Spec{}, fmt.Errorf("needs n >= 3a (n=%d, a=%d)", out.N, out.A)
+			}
+			rest := float64(out.N - 3*out.A)
+			if out.D < 0 || out.D*rest/2 > rest*rest/8 {
+				return Spec{}, fmt.Errorf("noise degree %v too dense for %d noise vertices", out.D, int(rest))
+			}
+			if err := checkEdgeBudget(3*float64(out.A)*float64(out.A) + out.D*rest/2); err != nil {
+				return Spec{}, err
+			}
+			return out, nil
+		},
+		build: func(sp Spec, rng *rand.Rand) Instance {
+			g, planted := graph.HiddenBlock(graph.HiddenBlockParams{N: sp.N, A: sp.A, NoiseDeg: sp.D}, rng)
+			return Instance{G: g, Planted: planted, CertEps: float64(len(planted)) / float64(g.M())}
+		},
+	}
+}
+
+func disjointTrianglesFamily() Family {
+	return Family{
+		Name:      "disjoint-triangles",
+		Doc:       "t vertex-disjoint triangles on random ids (exactly 1/3-far)",
+		Params:    "n (default 512), t (default 32)",
+		Certified: true,
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{N: defInt(sp.N, 512), T: defInt(sp.T, 32)}
+			if err := checkN(out.N); err != nil {
+				return Spec{}, err
+			}
+			if out.T < 1 || 3*out.T > out.N {
+				return Spec{}, fmt.Errorf("t %d out of range [1, n/3]", out.T)
+			}
+			return out, nil
+		},
+		build: func(sp Spec, rng *rand.Rand) Instance {
+			g := graph.DisjointTriangles(sp.N, sp.T, rng)
+			planted, eps := packCertificate(g)
+			return Instance{G: g, Planted: planted, CertEps: eps}
+		},
+	}
+}
+
+func tripartiteFamily() Family {
+	return Family{
+		Name:   "tripartite",
+		Doc:    "random tripartite graph (parts of size n/3, cross-part pairs with probability p)",
+		Params: "n (default 512), p (default 0.05)",
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{N: defInt(sp.N, 512), P: defFloat(sp.P, 0.05)}
+			if err := checkN(out.N); err != nil {
+				return Spec{}, err
+			}
+			if out.N < 3 {
+				return Spec{}, fmt.Errorf("n %d too small for three parts", out.N)
+			}
+			if err := checkProb("p", out.P); err != nil {
+				return Spec{}, err
+			}
+			part := float64(out.N) / 3
+			if err := checkEdgeBudget(3 * out.P * part * part); err != nil {
+				return Spec{}, err
+			}
+			return out, nil
+		},
+		build: func(sp Spec, rng *rand.Rand) Instance {
+			nu := sp.N / 3
+			nv := (sp.N - nu) / 2
+			nw := sp.N - nu - nv
+			return Instance{G: graph.Tripartite(nu, nv, nw, sp.P, rng)}
+		},
+	}
+}
+
+func completeFamily() Family {
+	return Family{
+		Name:   "complete",
+		Doc:    "the complete graph K_n",
+		Params: "n (default 64)",
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{N: defInt(sp.N, 64)}
+			if err := checkN(out.N); err != nil {
+				return Spec{}, err
+			}
+			if err := checkEdgeBudget(float64(out.N) * float64(out.N-1) / 2); err != nil {
+				return Spec{}, err
+			}
+			return out, nil
+		},
+		build: func(sp Spec, _ *rand.Rand) Instance {
+			return Instance{G: graph.Complete(sp.N)}
+		},
+	}
+}
+
+func cycleFamily() Family {
+	return Family{
+		Name:         "cycle",
+		Doc:          "the n-cycle (triangle-free for n >= 4)",
+		Params:       "n (default 512, at least 4)",
+		TriangleFree: true,
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{N: defInt(sp.N, 512)}
+			if err := checkN(out.N); err != nil {
+				return Spec{}, err
+			}
+			if out.N < 4 {
+				return Spec{}, fmt.Errorf("n %d must be at least 4 (C_3 is a triangle)", out.N)
+			}
+			return out, nil
+		},
+		build: func(sp Spec, _ *rand.Rand) Instance {
+			return Instance{G: graph.Cycle(sp.N)}
+		},
+	}
+}
+
+func starFamily() Family {
+	return Family{
+		Name:         "star",
+		Doc:          "the star K_{1,n-1} (triangle-free)",
+		Params:       "n (default 512)",
+		TriangleFree: true,
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{N: defInt(sp.N, 512)}
+			if err := checkN(out.N); err != nil {
+				return Spec{}, err
+			}
+			return out, nil
+		},
+		build: func(sp Spec, _ *rand.Rand) Instance {
+			return Instance{G: graph.Star(sp.N)}
+		},
+	}
+}
+
+func behrendFamily() Family {
+	return Family{
+		Name:      "behrend",
+		Doc:       "Behrend/Ruzsa–Szemerédi graph: every edge on exactly one triangle (exactly 1/3-far)",
+		Params:    "m (default 64; n = 6m is derived)",
+		Certified: true,
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{M: defInt(sp.M, 64)}
+			if out.M < 1 || 6*out.M > MaxN {
+				return Spec{}, fmt.Errorf("m %d out of range [1, %d]", out.M, MaxN/6)
+			}
+			out.N = 6 * out.M
+			return out, nil
+		},
+		build: func(sp Spec, _ *rand.Rand) Instance {
+			bg := graph.NewBehrendGraph(sp.M)
+			return Instance{G: bg.G, Planted: bg.Planted,
+				CertEps: float64(len(bg.Planted)) / float64(bg.G.M())}
+		},
+	}
+}
+
+func chungLuFamily() Family {
+	return Family{
+		Name:   "chung-lu",
+		Doc:    "Chung–Lu power-law degree sequence (heavy head at low vertex ids)",
+		Params: "n (default 2048), d (default 8), alpha (default 2.5, exponent in (2, 8])",
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{N: defInt(sp.N, 2048), D: defFloat(sp.D, 8), Alpha: defFloat(sp.Alpha, 2.5)}
+			if err := checkN(out.N); err != nil {
+				return Spec{}, err
+			}
+			if out.D < 0 || out.D > float64(out.N) {
+				return Spec{}, fmt.Errorf("d %v out of range [0, n]", out.D)
+			}
+			if out.Alpha <= 2 || out.Alpha > 8 {
+				return Spec{}, fmt.Errorf("alpha %v out of range (2, 8]", out.Alpha)
+			}
+			if err := checkEdgeBudget(out.D * float64(out.N) / 2); err != nil {
+				return Spec{}, err
+			}
+			return out, nil
+		},
+		build: func(sp Spec, rng *rand.Rand) Instance {
+			return Instance{G: graph.ChungLu(graph.ChungLuParams{N: sp.N, D: sp.D, Alpha: sp.Alpha}, rng)}
+		},
+	}
+}
+
+func sbmFamily() Family {
+	return Family{
+		Name:   "sbm",
+		Doc:    "planted-partition / stochastic block model with triangle-rich communities",
+		Params: "n (default 1024), blocks (default 8), p_in (default 0.05), p_out (default 0.002)",
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{N: defInt(sp.N, 1024), Blocks: defInt(sp.Blocks, 8),
+				PIn: defFloat(sp.PIn, 0.05), POut: defFloat(sp.POut, 0.002)}
+			if err := checkN(out.N); err != nil {
+				return Spec{}, err
+			}
+			if out.Blocks < 1 || out.Blocks > out.N {
+				return Spec{}, fmt.Errorf("blocks %d out of range [1, n]", out.Blocks)
+			}
+			if err := checkProb("p_in", out.PIn); err != nil {
+				return Spec{}, err
+			}
+			if err := checkProb("p_out", out.POut); err != nil {
+				return Spec{}, err
+			}
+			per := float64(out.N) / float64(out.Blocks)
+			within := float64(out.Blocks) * per * per / 2 * out.PIn
+			cross := (float64(out.N)*float64(out.N)/2 - float64(out.Blocks)*per*per/2) * out.POut
+			if err := checkEdgeBudget(within + cross); err != nil {
+				return Spec{}, err
+			}
+			return out, nil
+		},
+		build: func(sp Spec, rng *rand.Rand) Instance {
+			return Instance{G: graph.PlantedPartition(graph.PlantedPartitionParams{
+				N: sp.N, Blocks: sp.Blocks, PIn: sp.PIn, POut: sp.POut}, rng)}
+		},
+	}
+}
+
+func behrendBlowupFamily() Family {
+	return Family{
+		Name:      "behrend-blowup",
+		Doc:       "Behrend graph with every vertex blown up into a clone cloud (1/3-far at tunable density)",
+		Params:    "m (default 32), blowup (default 4, cloud size; n = 6·m·blowup is derived)",
+		Certified: true,
+		canon: func(sp Spec) (Spec, error) {
+			out := Spec{M: defInt(sp.M, 32), Blowup: defInt(sp.Blowup, 4)}
+			if out.M < 1 {
+				return Spec{}, fmt.Errorf("m %d must be positive", out.M)
+			}
+			if out.Blowup < 1 || out.Blowup > 256 {
+				return Spec{}, fmt.Errorf("blowup %d out of range [1, 256]", out.Blowup)
+			}
+			n := 6 * out.M * out.Blowup
+			if n > MaxN {
+				return Spec{}, fmt.Errorf("derived n %d exceeds %d", n, MaxN)
+			}
+			out.N = n
+			// |S| <= m, so 3·m·|S|·b² is a safe over-estimate of the edges.
+			if err := checkEdgeBudget(3 * float64(out.M) * float64(out.M) *
+				float64(out.Blowup) * float64(out.Blowup)); err != nil {
+				return Spec{}, err
+			}
+			return out, nil
+		},
+		build: func(sp Spec, _ *rand.Rand) Instance {
+			bg := graph.NewBehrendBlowup(sp.M, sp.Blowup)
+			return Instance{G: bg.G, Planted: bg.Planted,
+				CertEps: float64(len(bg.Planted)) / float64(bg.G.M())}
+		},
+	}
+}
+
+func dupAdversaryFamily() Family {
+	return Family{
+		Name: "dup-adversary",
+		Doc: "eps-far instance with a prescribed assignment: each planted triangle spread over " +
+			"three players, every edge heavily replicated (stresses §3.1 degree approximation under duplication)",
+		Params:     "n (default 1024), d (default 8), eps (default 0.2), k (default 4 players), dup (default 0.75 replication probability)",
+		Certified:  true,
+		Prescribes: true,
+		canon: func(sp Spec) (Spec, error) {
+			base, err := canonFarLike(1024, 8, 0.2)(sp)
+			if err != nil {
+				return Spec{}, err
+			}
+			base.K = defInt(sp.K, 4)
+			base.Dup = defFloat(sp.Dup, 0.75)
+			if base.K < 1 || base.K > MaxK {
+				return Spec{}, fmt.Errorf("k %d out of range [1, %d]", base.K, MaxK)
+			}
+			if base.Dup < 0 || base.Dup >= 1 {
+				return Spec{}, fmt.Errorf("dup %v out of range [0, 1)", base.Dup)
+			}
+			return base, nil
+		},
+		build: buildDupAdversary,
+	}
+}
+
+// buildDupAdversary plants a certified eps-far instance and fixes the
+// per-player assignment adversarially: the three edges of planted
+// triangle i go to players i, i+1, i+2 (mod k) — no player holds a
+// planted triangle locally when k >= 3 — and every edge is additionally
+// replicated to each other player independently with probability Dup, so
+// naive degree aggregation across players overcounts by up to a factor of
+// k (exactly the regime Thm 3.1's duplication-tolerant estimator is for).
+func buildDupAdversary(sp Spec, rng *rand.Rand) Instance {
+	fg := graph.FarWithDegree(graph.FarParams{N: sp.N, D: sp.D, Eps: sp.Eps}, rng)
+	k := sp.K
+	players := make([][]graph.Edge, k)
+	owner := make(map[graph.Edge]int, 3*len(fg.Planted))
+	for i, t := range fg.Planted {
+		for x, e := range t.Edges() {
+			owner[e] = (i + x) % k
+		}
+	}
+	fg.G.VisitEdges(func(e graph.Edge) bool {
+		p, ok := owner[e]
+		if !ok {
+			p = rng.Intn(k)
+		}
+		players[p] = append(players[p], e)
+		for j := 0; j < k; j++ {
+			if j != p && rng.Float64() < sp.Dup {
+				players[j] = append(players[j], e)
+			}
+		}
+		return true
+	})
+	return Instance{G: fg.G, Planted: fg.Planted, CertEps: fg.CertEps, Players: players}
+}

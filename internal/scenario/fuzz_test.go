@@ -1,0 +1,43 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// FuzzScenarioSpec fuzzes the spec parser for the canonicalization
+// round-trip invariant: any input Parse accepts must canonicalize to a
+// spec whose JSON encoding parses back to the identical spec. This is
+// the contract that lets specs travel CLI → JSON API → golden tests
+// byte-stably.
+func FuzzScenarioSpec(f *testing.F) {
+	for _, name := range Names() {
+		f.Add(name)
+		canon, err := Canonical(Spec{Family: name})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(canon.JSON())
+	}
+	f.Add(`{"family":"far","n":128,"d":6,"eps":0.25}`)
+	f.Add(`{"family":"sbm","n":300,"blocks":3,"p_in":0.2}`)
+	f.Add(`{"family":"dup-adversary","k":7,"dup":0.9,"expect_eps":0.1}`)
+	f.Add(`{"family":"behrend-blowup","m":4,"blowup":2,"n":48}`)
+	f.Add(`  {"family":"cycle","n":17}  `)
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := Parse(s)
+		if err != nil {
+			return // rejected inputs are out of scope
+		}
+		encoded := sp.JSON()
+		again, err := Parse(encoded)
+		if err != nil {
+			t.Fatalf("canonical spec %q does not re-parse: %v", encoded, err)
+		}
+		if again != sp {
+			t.Fatalf("round trip drifted: %+v -> %q -> %+v", sp, encoded, again)
+		}
+		if again.JSON() != encoded {
+			t.Fatalf("encoding unstable: %q vs %q", again.JSON(), encoded)
+		}
+	})
+}

@@ -100,6 +100,17 @@ func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
 	return jis, err
 }
 
+// Scenarios fetches the server's scenario-family catalog.
+func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/scenarios"), nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScenarioInfo
+	err = c.do(req, &out)
+	return out, err
+}
+
 // ServerStats fetches the service counters.
 func (c *Client) ServerStats(ctx context.Context) (Stats, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/stats"), nil)

@@ -15,6 +15,9 @@ import (
 //	GET  /v1/jobs/{id}        one job, with per-trial results
 //	GET  /v1/jobs/{id}/stream NDJSON stream: one TrialOutcome per line as
 //	                          trials land, then a final JobInfo line
+//	GET  /v1/scenarios        the scenario-family catalog (generated from
+//	                          the registry: submitting {"graph": {"family":
+//	                          <name>, ...}} works for every entry)
 //	GET  /v1/stats            service counters
 //	GET  /healthz             liveness (also reports the goroutine count)
 func (s *Server) Handler() http.Handler {
@@ -23,6 +26,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
@@ -137,6 +141,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Scenarios())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

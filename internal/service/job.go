@@ -16,47 +16,81 @@ import (
 	"fmt"
 
 	"tricomm"
+	"tricomm/internal/scenario"
 )
 
-// Limits keep one malformed or hostile job from starving the pool.
+// Limits keep one malformed or hostile job from starving the pool. The
+// instance-size caps are the scenario registry's, referenced rather than
+// duplicated so the two validation layers cannot drift apart.
 const (
 	// MaxN is the largest vertex universe a job may request.
-	MaxN = 1 << 20
+	MaxN = scenario.MaxN
 	// MaxEdges is the largest uploaded edge list.
 	MaxEdges = 1 << 22
 	// MaxTrials is the largest per-job trial count.
 	MaxTrials = 10_000
 	// MaxK is the largest player count.
-	MaxK = 256
+	MaxK = scenario.MaxK
 )
 
-// GraphSpec names the graph a job tests: either a generator (far, random,
-// bipartite — drawn per trial from the trial seed) or an explicit edge
-// list shared by every trial.
+// GraphSpec names the graph a job tests: a declarative scenario (any
+// family registered in internal/scenario, drawn per trial from the trial
+// seed) or an explicit edge list shared by every trial. It is a thin
+// alias over scenario.Spec — parsing and validation delegate to the
+// scenario registry — plus the legacy "kind" selector: payloads that
+// predate the scenario layer ({"kind": "far", "n": ..., "d": ..., "eps":
+// ...} and friends) decode unchanged, because "kind" doubles as the
+// family name when "family" is absent. One semantic caveat rides along
+// with the registry's zero-means-default convention: a legacy payload
+// that explicitly passed 0 for a parameter (e.g. d=0 for an empty random
+// graph) now selects the family default instead, and out-of-range values
+// the old path silently clamped (a negative construction eps) are
+// rejected with an error.
 type GraphSpec struct {
-	// Kind is "far", "random", "bipartite", or "edges".
-	Kind string `json:"kind"`
-	// N is the vertex universe size.
-	N int `json:"n"`
-	// D is the target average degree (generator kinds).
-	D float64 `json:"d,omitempty"`
-	// Eps is the construction farness for kind "far".
-	Eps float64 `json:"eps,omitempty"`
+	scenario.Spec
+	// Kind is the legacy family selector ("far", "random", "bipartite")
+	// or "edges" for an uploaded edge list. When both Kind and Family are
+	// set they must agree.
+	Kind string `json:"kind,omitempty"`
 	// Edges is the explicit edge list for kind "edges".
 	Edges [][2]int `json:"edges,omitempty"`
 }
 
-// Validate checks the spec's structural invariants.
-func (g GraphSpec) Validate() error {
-	if g.N < 1 || g.N > MaxN {
-		return fmt.Errorf("graph n %d out of range [1, %d]", g.N, MaxN)
+// scenarioSpec resolves the legacy Kind selector into the scenario spec.
+func (g GraphSpec) scenarioSpec() (scenario.Spec, error) {
+	sp := g.Spec
+	if sp.Family == "" {
+		sp.Family = g.Kind
+	} else if g.Kind != "" && g.Kind != sp.Family {
+		return scenario.Spec{}, fmt.Errorf("graph kind %q conflicts with family %q", g.Kind, sp.Family)
 	}
-	switch g.Kind {
-	case "far", "random", "bipartite":
-		if g.D < 0 || g.D > float64(g.N) {
-			return fmt.Errorf("graph degree %v out of range", g.D)
+	return sp, nil
+}
+
+// canonical returns the registry-canonicalized view of the spec
+// (generator families only; kind "edges" passes through unchanged).
+func (g GraphSpec) canonical() (GraphSpec, error) {
+	if g.Kind == "edges" {
+		return g, nil
+	}
+	sp, err := g.scenarioSpec()
+	if err != nil {
+		return GraphSpec{}, err
+	}
+	canon, err := scenario.Canonical(sp)
+	if err != nil {
+		return GraphSpec{}, err
+	}
+	return GraphSpec{Spec: canon, Kind: g.Kind}, nil
+}
+
+// Validate checks the spec's structural invariants. Generator specs
+// delegate to the scenario registry; edge lists are checked here.
+func (g GraphSpec) Validate() error {
+	if g.Kind == "edges" {
+		if g.N < 1 || g.N > MaxN {
+			return fmt.Errorf("graph n %d out of range [1, %d]", g.N, MaxN)
 		}
-	case "edges":
 		if len(g.Edges) > MaxEdges {
 			return fmt.Errorf("edge list %d exceeds %d", len(g.Edges), MaxEdges)
 		}
@@ -64,11 +98,68 @@ func (g GraphSpec) Validate() error {
 			if e[0] < 0 || e[1] < 0 || e[0] >= g.N || e[1] >= g.N {
 				return fmt.Errorf("edge %d (%d,%d) out of range [0,%d)", i, e[0], e[1], g.N)
 			}
+			if e[0] == e[1] {
+				return fmt.Errorf("edge %d (%d,%d) is a self-loop; the graph model is simple", i, e[0], e[1])
+			}
 		}
-	default:
-		return fmt.Errorf("unknown graph kind %q", g.Kind)
+		return nil
 	}
-	return nil
+	_, err := g.canonical()
+	return err
+}
+
+// ScenarioInfo is one catalog entry of the GET /v1/scenarios endpoint,
+// generated from the scenario registry — any listed family is a valid
+// job graph with no service-side code.
+type ScenarioInfo struct {
+	// Family is the registry name (usable as graph "family" or "kind").
+	Family string `json:"family"`
+	// Doc is the one-line description.
+	Doc string `json:"doc"`
+	// Params summarizes the accepted parameters and defaults.
+	Params string `json:"params"`
+	// TriangleFree, Certified, and PrescribesPlayers echo the family's
+	// certificate contract.
+	TriangleFree      bool `json:"triangle_free,omitempty"`
+	Certified         bool `json:"certified,omitempty"`
+	PrescribesPlayers bool `json:"prescribes_players,omitempty"`
+	// Example is the canonical JSON spec of the family's defaults.
+	Example string `json:"example"`
+}
+
+// Scenarios renders the registry catalog.
+func Scenarios() []ScenarioInfo {
+	fams := scenario.Families()
+	out := make([]ScenarioInfo, 0, len(fams))
+	for _, f := range fams {
+		canon, err := scenario.Canonical(scenario.Spec{Family: f.Name})
+		if err != nil {
+			// Every family's defaults canonicalize; a failure here is a
+			// registry bug, not a runtime condition.
+			panic(fmt.Sprintf("service: family %s defaults invalid: %v", f.Name, err))
+		}
+		out = append(out, ScenarioInfo{
+			Family:            f.Name,
+			Doc:               f.Doc,
+			Params:            f.Params,
+			TriangleFree:      f.TriangleFree,
+			Certified:         f.Certified,
+			PrescribesPlayers: f.Prescribes,
+			Example:           canon.JSON(),
+		})
+	}
+	return out
+}
+
+// ParseGraphSpec turns a scenario argument — a registry family name or a
+// JSON spec — into a job GraphSpec (the conversion tritest/tricli use for
+// their -scenario flags).
+func ParseGraphSpec(s string) (GraphSpec, error) {
+	sp, err := scenario.Parse(s)
+	if err != nil {
+		return GraphSpec{}, err
+	}
+	return GraphSpec{Spec: sp}, nil
 }
 
 // JobSpec is one submitted job.
@@ -99,7 +190,12 @@ type JobSpec struct {
 	Check bool `json:"check,omitempty"`
 }
 
-// withDefaults fills the defaulted fields in.
+// withDefaults fills the defaulted fields in, canonicalizing the graph
+// spec through the scenario registry (so the echoed spec names every
+// parameter explicitly). A spec the registry rejects is left as-is for
+// Validate to diagnose. When the scenario family prescribes the
+// per-player assignment, the job-level K is superseded by the family's —
+// the echo then reports the player count the trials actually run with.
 func (s JobSpec) withDefaults() JobSpec {
 	if s.K == 0 {
 		s.K = 4
@@ -109,6 +205,12 @@ func (s JobSpec) withDefaults() JobSpec {
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
+	}
+	if g, err := s.Graph.canonical(); err == nil {
+		s.Graph = g
+		if f, ok := scenario.Lookup(g.Family); ok && f.Prescribes && g.K > 0 {
+			s.K = g.K
+		}
 	}
 	return s
 }

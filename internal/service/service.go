@@ -9,8 +9,8 @@ import (
 	"time"
 
 	"tricomm"
-	"tricomm/internal/graph"
 	"tricomm/internal/harness/runner"
+	"tricomm/internal/scenario"
 )
 
 // Config sizes the service.
@@ -300,14 +300,12 @@ func (s *Server) runTrials(j *job) error {
 	spec := j.spec
 
 	// An uploaded edge list is one immutable instance shared by all trials
-	// (only the split seed varies); generator kinds redraw per trial.
+	// (only the split seed varies); generator families redraw per trial.
 	var uploaded *tricomm.Graph
 	if spec.Graph.Kind == "edges" {
 		b := tricomm.NewBuilder(spec.Graph.N)
 		for _, e := range spec.Graph.Edges {
-			if e[0] != e[1] {
-				b.AddEdge(e[0], e[1])
-			}
+			b.AddEdge(e[0], e[1])
 		}
 		uploaded = b.Build()
 	}
@@ -316,14 +314,27 @@ func (s *Server) runTrials(j *job) error {
 		func(ctx context.Context, a *runner.Arena, trial int) (struct{}, error) {
 			seed := runner.TrialSeed(spec.Seed, trial)
 			g := uploaded
+			var players [][]tricomm.Edge
 			if g == nil {
-				g = generate(spec.Graph, a.Rand(int64(seed)))
+				inst, gerr := generate(spec.Graph, a.Rand(int64(seed)))
+				if gerr != nil {
+					return struct{}{}, gerr
+				}
+				g = inst.G
+				players = inst.Players
 			}
 			scheme, err := tricomm.ParseSplitScheme(spec.Partition)
 			if err != nil {
 				return struct{}{}, err
 			}
-			cl, err := tricomm.Split(g, spec.K, scheme, seed)
+			// A family that prescribes the per-player assignment overrides
+			// the job's split scheme (the assignment IS the scenario).
+			var cl *tricomm.Cluster
+			if players != nil {
+				cl, err = tricomm.NewCluster(g.N(), players, seed)
+			} else {
+				cl, err = tricomm.Split(g, spec.K, scheme, seed)
+			}
 			if err != nil {
 				return struct{}{}, err
 			}
@@ -361,27 +372,18 @@ func (s *Server) runTrials(j *job) error {
 	return err
 }
 
-// generate draws a generator-spec instance from the trial rng. The
-// constructions match the tricomm facade generators exactly (the facade
-// seeds a fresh rand.Source; the runner arena reseeds in place, which
-// produces the identical sequence), so clients can regenerate any trial's
-// instance with the public API.
-func generate(gs GraphSpec, rng *rand.Rand) *tricomm.Graph {
-	switch gs.Kind {
-	case "far":
-		eps := gs.Eps
-		if eps <= 0 {
-			eps = 0.2
-		}
-		fg := graph.FarWithDegree(graph.FarParams{N: gs.N, D: gs.D, Eps: eps}, rng)
-		return fg.G
-	case "random":
-		return graph.RandomAvgDegree(gs.N, gs.D, rng)
-	case "bipartite":
-		return graph.BipartiteAvgDegree(gs.N, gs.D, rng)
-	default:
-		panic(fmt.Sprintf("service: generate on kind %q", gs.Kind)) // Validate rejects earlier
+// generate draws a generator-spec instance from the trial rng via the
+// scenario registry. The constructions match the tricomm facade exactly
+// (GenerateScenario seeds a fresh rand.Source; the runner arena reseeds
+// in place, which produces the identical sequence), so clients can
+// regenerate any trial's instance with the public API and audit the
+// verdict.
+func generate(gs GraphSpec, rng *rand.Rand) (scenario.Instance, error) {
+	sp, err := gs.scenarioSpec()
+	if err != nil {
+		return scenario.Instance{}, err
 	}
+	return scenario.Build(sp, rng)
 }
 
 // Stats is the service-level counter snapshot for the /v1/stats endpoint.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http/httptest"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 
 	"tricomm"
 	"tricomm/internal/harness/runner"
+	"tricomm/internal/scenario"
 )
 
 // newTestServer starts a Server behind an httptest listener and returns a
@@ -30,7 +32,7 @@ func newTestServer(t *testing.T, cfg Config) (*Client, func()) {
 
 func farJob(n int, trials int, seed uint64) JobSpec {
 	return JobSpec{
-		Graph:       GraphSpec{Kind: "far", N: n, D: 6, Eps: 0.25},
+		Graph:       GraphSpec{Kind: "far", Spec: scenario.Spec{N: n, D: 6, Eps: 0.25}},
 		K:           3,
 		Protocol:    "sim-oblivious",
 		Eps:         0.25,
@@ -159,7 +161,7 @@ func TestUploadedEdgesAndCheck(t *testing.T) {
 
 	// A triangle plus a pendant edge; the exact protocol must find it.
 	spec := JobSpec{
-		Graph:    GraphSpec{Kind: "edges", N: 8, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}}},
+		Graph:    GraphSpec{Kind: "edges", Spec: scenario.Spec{N: 8}, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}}},
 		K:        2,
 		Protocol: "exact",
 		Trials:   2,
@@ -189,19 +191,149 @@ func TestUploadedEdgesAndCheck(t *testing.T) {
 	}
 }
 
+// TestSelfLoopEdgesRejected is the regression test for the self-loop
+// hole: kind "edges" used to accept e[0]==e[1] pairs and silently drop
+// them at build time; they must be rejected at validation with a clear
+// error instead.
+func TestSelfLoopEdgesRejected(t *testing.T) {
+	cl, shutdown := newTestServer(t, Config{Workers: 1})
+	defer shutdown()
+	spec := JobSpec{
+		Graph:    GraphSpec{Kind: "edges", Spec: scenario.Spec{N: 8}, Edges: [][2]int{{0, 1}, {3, 3}}},
+		Protocol: "exact",
+	}
+	_, err := cl.Submit(context.Background(), spec)
+	if err == nil {
+		t.Fatal("self-loop edge accepted")
+	}
+	if !strings.Contains(err.Error(), "self-loop") {
+		t.Fatalf("rejection does not name the self-loop: %v", err)
+	}
+}
+
+// TestLegacyGraphSpecJSONDecodesUnchanged pins byte-compatibility for
+// pre-scenario payloads: the historical {"kind", "n", "d", "eps"} and
+// {"kind": "edges", ...} shapes must decode into the same validated specs
+// they always did, via the embedded scenario.Spec fields.
+func TestLegacyGraphSpecJSONDecodesUnchanged(t *testing.T) {
+	cases := []struct {
+		payload string
+		check   func(GraphSpec) bool
+	}{
+		{`{"kind":"far","n":512,"d":8,"eps":0.25}`, func(g GraphSpec) bool {
+			return g.Kind == "far" && g.N == 512 && g.D == 8 && g.Eps == 0.25 && g.Validate() == nil
+		}},
+		{`{"kind":"random","n":256,"d":4}`, func(g GraphSpec) bool {
+			return g.Kind == "random" && g.N == 256 && g.D == 4 && g.Validate() == nil
+		}},
+		{`{"kind":"bipartite","n":128,"d":6}`, func(g GraphSpec) bool {
+			return g.Kind == "bipartite" && g.N == 128 && g.D == 6 && g.Validate() == nil
+		}},
+		{`{"kind":"edges","n":4,"edges":[[0,1],[1,2]]}`, func(g GraphSpec) bool {
+			return g.Kind == "edges" && g.N == 4 && len(g.Edges) == 2 && g.Validate() == nil
+		}},
+		// The new shape decodes through the same struct.
+		{`{"family":"chung-lu","n":256,"alpha":2.5}`, func(g GraphSpec) bool {
+			return g.Family == "chung-lu" && g.N == 256 && g.Validate() == nil
+		}},
+	}
+	for _, tc := range cases {
+		var g GraphSpec
+		if err := json.Unmarshal([]byte(tc.payload), &g); err != nil {
+			t.Fatalf("decode %s: %v", tc.payload, err)
+		}
+		if !tc.check(g) {
+			t.Fatalf("payload %s decoded to %+v", tc.payload, g)
+		}
+	}
+	// Conflicting kind/family must be rejected, not silently resolved.
+	var g GraphSpec
+	if err := json.Unmarshal([]byte(`{"kind":"far","family":"random","n":64,"d":4}`), &g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Validate() == nil {
+		t.Fatal("conflicting kind/family accepted")
+	}
+}
+
+// TestScenarioJobsOverHTTP runs a registry family — including one that
+// prescribes its own player assignment — through the full HTTP job path.
+func TestScenarioJobsOverHTTP(t *testing.T) {
+	cl, shutdown := newTestServer(t, Config{Workers: 2})
+	defer shutdown()
+	ctx := context.Background()
+
+	for _, spec := range []JobSpec{
+		{Graph: GraphSpec{Spec: scenario.Spec{Family: "behrend-blowup", M: 6, Blowup: 2}},
+			Protocol: "exact", Trials: 2, Check: true},
+		{Graph: GraphSpec{Spec: scenario.Spec{Family: "dup-adversary", N: 256, D: 8, Eps: 0.2, K: 6}},
+			K:        8, // superseded: the family prescribes its own 6-player assignment
+			Protocol: "sim-oblivious", Eps: 0.2, Trials: 2, Check: true},
+	} {
+		ji, err := cl.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin, err := cl.Wait(ctx, ji.ID, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != StateDone {
+			t.Fatalf("scenario job failed: %s", fin.Error)
+		}
+		// Both scenarios are certified far: the instances really contain
+		// triangles, and the echoed spec must be canonical.
+		for _, r := range fin.Results {
+			if r.HasTriangle == nil || !*r.HasTriangle {
+				t.Fatalf("certified-far instance reports no triangle: %+v", r)
+			}
+		}
+		if fin.Spec.Graph.N == 0 {
+			t.Fatalf("echoed spec not canonicalized: %+v", fin.Spec.Graph)
+		}
+		// When the family prescribes the assignment, the echoed job K must
+		// report the player count actually run, not the submitted one.
+		if fin.Spec.Graph.K > 0 && fin.Spec.K != fin.Spec.Graph.K {
+			t.Fatalf("echoed K=%d but the prescribed assignment has k=%d", fin.Spec.K, fin.Spec.Graph.K)
+		}
+	}
+}
+
+// TestScenarioCatalogEndpoint covers GET /v1/scenarios: one entry per
+// registry family, each with a usable canonical example.
+func TestScenarioCatalogEndpoint(t *testing.T) {
+	cl, shutdown := newTestServer(t, Config{Workers: 1})
+	defer shutdown()
+	cat, err := cl.Scenarios(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != len(scenario.Names()) {
+		t.Fatalf("catalog lists %d families, registry has %d", len(cat), len(scenario.Names()))
+	}
+	for _, info := range cat {
+		if info.Doc == "" || info.Params == "" {
+			t.Fatalf("entry %s incomplete: %+v", info.Family, info)
+		}
+		if _, err := scenario.Parse(info.Example); err != nil {
+			t.Fatalf("example for %s does not parse: %v", info.Family, err)
+		}
+	}
+}
+
 // TestSubmitValidation covers API-level rejection.
 func TestSubmitValidation(t *testing.T) {
 	cl, shutdown := newTestServer(t, Config{Workers: 1})
 	defer shutdown()
 	ctx := context.Background()
 	bad := []JobSpec{
-		{Graph: GraphSpec{Kind: "far", N: 0}},
-		{Graph: GraphSpec{Kind: "nope", N: 8}},
-		{Graph: GraphSpec{Kind: "far", N: 8, D: 4}, Protocol: "nope"},
-		{Graph: GraphSpec{Kind: "far", N: 8, D: 4}, Partition: "nope"},
-		{Graph: GraphSpec{Kind: "far", N: 8, D: 4}, Transport: "nope"},
-		{Graph: GraphSpec{Kind: "edges", N: 4, Edges: [][2]int{{0, 9}}}},
-		{Graph: GraphSpec{Kind: "far", N: 8, D: 4}, Trials: MaxTrials + 1},
+		{Graph: GraphSpec{Kind: "far", Spec: scenario.Spec{N: -1}}},
+		{Graph: GraphSpec{Kind: "nope", Spec: scenario.Spec{N: 8}}},
+		{Graph: GraphSpec{Kind: "far", Spec: scenario.Spec{N: 8, D: 4}}, Protocol: "nope"},
+		{Graph: GraphSpec{Kind: "far", Spec: scenario.Spec{N: 8, D: 4}}, Partition: "nope"},
+		{Graph: GraphSpec{Kind: "far", Spec: scenario.Spec{N: 8, D: 4}}, Transport: "nope"},
+		{Graph: GraphSpec{Kind: "edges", Spec: scenario.Spec{N: 4}, Edges: [][2]int{{0, 9}}}},
+		{Graph: GraphSpec{Kind: "far", Spec: scenario.Spec{N: 8, D: 4}}, Trials: MaxTrials + 1},
 	}
 	for i, spec := range bad {
 		if _, err := cl.Submit(ctx, spec); err == nil {

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"tricomm/internal/graph"
 	"tricomm/internal/partition"
 	"tricomm/internal/protocol"
+	"tricomm/internal/scenario"
 	"tricomm/internal/transport"
 	"tricomm/internal/wire"
 	"tricomm/internal/xrand"
@@ -79,6 +81,88 @@ func FarGraph(n int, d, eps float64, seed int64) (*Graph, float64) {
 	return fg.G, fg.CertEps
 }
 
+// ScenarioInstance is an instance generated from a declarative scenario
+// spec, together with its certificate.
+type ScenarioInstance struct {
+	// Graph is the built instance.
+	Graph *Graph
+	// Planted is a family of pairwise edge-disjoint triangles (nil when
+	// the family carries no farness certificate).
+	Planted []Triangle
+	// CertEps is the certified farness |Planted| / |E| (0 without a
+	// certificate).
+	CertEps float64
+	// TriangleFree reports the construction guarantees no triangle.
+	TriangleFree bool
+	// Players, when non-nil, is the family-prescribed per-player edge
+	// assignment; RunScenario uses it instead of the split scheme.
+	Players [][]Edge
+	// Spec is the canonical JSON spec that regenerates this instance with
+	// the same seed.
+	Spec string
+}
+
+// GenerateScenario builds the instance a scenario spec declares — spec is
+// a registered family name or a JSON spec object — deterministically from
+// the seed. The same (spec, seed) pair always yields the same instance,
+// across the Go API, the CLIs, and the tricommd service.
+func GenerateScenario(spec string, seed int64) (ScenarioInstance, error) {
+	sp, err := scenario.Parse(spec)
+	if err != nil {
+		return ScenarioInstance{}, err
+	}
+	inst, err := scenario.Build(sp, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return ScenarioInstance{}, err
+	}
+	return ScenarioInstance{
+		Graph:        inst.G,
+		Planted:      inst.Planted,
+		CertEps:      inst.CertEps,
+		TriangleFree: inst.TriangleFree,
+		Players:      inst.Players,
+		Spec:         inst.Spec.JSON(),
+	}, nil
+}
+
+// ScenarioNames returns the registered scenario family names, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioUsage returns the scenario catalog as usage text (one family
+// per entry with its parameters), generated from the registry.
+func ScenarioUsage() string { return scenario.Usage() }
+
+// Cluster builds the cluster a scenario instance declares: the
+// family-prescribed per-player assignment when there is one, otherwise
+// the given split of the generated graph.
+func (si ScenarioInstance) Cluster(k int, scheme SplitScheme, seed uint64) (*Cluster, error) {
+	if si.Players != nil {
+		return NewCluster(si.Graph.N(), si.Players, seed)
+	}
+	return Split(si.Graph, k, scheme, seed)
+}
+
+// RunScenario generates the instance opts.Scenario declares (seeded
+// deterministically), splits it among k players, and runs the selected
+// tester — the one-call path from a declarative spec to a Report. It is
+// seed-exact with the tricommd service: a job with the same scenario,
+// options, and per-trial seed produces the identical verdict, bit count,
+// and wire traffic.
+func RunScenario(ctx context.Context, opts Options, k int, scheme SplitScheme, seed uint64) (Report, error) {
+	if opts.Scenario == "" {
+		return Report{}, errors.New("tricomm: RunScenario needs Options.Scenario")
+	}
+	si, err := GenerateScenario(opts.Scenario, int64(seed))
+	if err != nil {
+		return Report{}, err
+	}
+	cl, err := si.Cluster(k, scheme, seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return cl.Test(ctx, opts)
+}
+
 // SplitScheme selects how a graph's edges are divided among players.
 type SplitScheme int
 
@@ -97,6 +181,14 @@ const (
 	SplitAll
 )
 
+// SplitSchemeNames returns the canonical split-scheme names accepted by
+// ParseSplitScheme, in declaration order. CLI usage text and error
+// messages are generated from this list, so it is the one place the
+// vocabulary lives.
+func SplitSchemeNames() []string {
+	return []string{"disjoint", "duplicate", "byvertex", "all"}
+}
+
 // ParseSplitScheme maps the CLI/API names onto SplitScheme values.
 func ParseSplitScheme(s string) (SplitScheme, error) {
 	switch s {
@@ -109,7 +201,8 @@ func ParseSplitScheme(s string) (SplitScheme, error) {
 	case "all":
 		return SplitAll, nil
 	default:
-		return 0, fmt.Errorf("tricomm: unknown split scheme %q", s)
+		return 0, fmt.Errorf("tricomm: unknown split scheme %q (valid: %s)",
+			s, strings.Join(SplitSchemeNames(), ", "))
 	}
 }
 
@@ -270,6 +363,13 @@ func (t Transport) dialer() (transport.Dialer, error) {
 	}
 }
 
+// TransportNames returns the canonical transport names accepted by
+// ParseTransport, in declaration order (the generated-usage counterpart
+// of SplitSchemeNames).
+func TransportNames() []string {
+	return []string{"chan", "pipe", "tcp", "wan"}
+}
+
 // ParseTransport maps the CLI/API names onto Transport values.
 func ParseTransport(s string) (Transport, error) {
 	switch s {
@@ -282,8 +382,16 @@ func ParseTransport(s string) (Transport, error) {
 	case "wan":
 		return TransportWAN, nil
 	default:
-		return 0, fmt.Errorf("tricomm: unknown transport %q", s)
+		return 0, fmt.Errorf("tricomm: unknown transport %q (valid: %s)",
+			s, strings.Join(TransportNames(), ", "))
 	}
+}
+
+// ProtocolNames returns the canonical protocol names accepted by
+// ParseProtocol, in declaration order (the generated-usage counterpart of
+// SplitSchemeNames).
+func ProtocolNames() []string {
+	return []string{"interactive", "blackboard", "sim-low", "sim-high", "sim-oblivious", "exact"}
 }
 
 // ParseProtocol maps the CLI/API names onto Protocol values.
@@ -302,7 +410,8 @@ func ParseProtocol(s string) (Protocol, error) {
 	case "exact":
 		return Exact, nil
 	default:
-		return 0, fmt.Errorf("tricomm: unknown protocol %q", s)
+		return 0, fmt.Errorf("tricomm: unknown protocol %q (valid: %s)",
+			s, strings.Join(ProtocolNames(), ", "))
 	}
 }
 
@@ -324,6 +433,11 @@ type Options struct {
 	// Transport selects what carries the coordinator-model sessions
 	// (default in-process channels). Results are transport-independent.
 	Transport Transport
+	// Scenario declares the instance under test for RunScenario: a
+	// registered family name or a JSON spec (see ScenarioUsage for the
+	// catalog). Cluster.Test ignores it — the cluster already holds its
+	// instance.
+	Scenario string
 }
 
 func (o Options) withDefaults() Options {
