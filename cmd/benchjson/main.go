@@ -23,9 +23,11 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	tricomm "tricomm"
+	"tricomm/internal/bitset"
 	"tricomm/internal/graph"
 	"tricomm/internal/scenario"
 )
@@ -60,11 +62,19 @@ func run() error {
 	var (
 		out       = flag.String("o", "", "output path (default stdout)")
 		benchtime = flag.String("benchtime", "1s", "per-benchmark budget (duration or Nx count)")
+		zeroAlloc = flag.String("assert-zero-alloc", "", "comma-separated benchmark names whose allocs_op must be 0 (exit 1 otherwise)")
 	)
 	testing.Init()
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		return err
+	}
+
+	mustZero := map[string]bool{}
+	if *zeroAlloc != "" {
+		for _, name := range strings.Split(*zeroAlloc, ",") {
+			mustZero[strings.TrimSpace(name)] = true
+		}
 	}
 
 	rep := Report{
@@ -73,6 +83,7 @@ func run() error {
 		GOARCH:    runtime.GOARCH,
 		Benchtime: *benchtime,
 	}
+	var zeroAllocErr error
 	for _, bench := range coreBenchmarks() {
 		r := testing.Benchmark(bench.fn)
 		res := Result{
@@ -88,6 +99,19 @@ func run() error {
 		rep.Results = append(rep.Results, res)
 		fmt.Fprintf(os.Stderr, "%-28s %12.1f ns/op %8d allocs/op\n",
 			bench.name, res.NsPerOp, res.AllocsOp)
+		if mustZero[bench.name] {
+			delete(mustZero, bench.name)
+			if res.AllocsOp != 0 && zeroAllocErr == nil {
+				zeroAllocErr = fmt.Errorf("%s allocates: %d allocs/op (want 0)",
+					bench.name, res.AllocsOp)
+			}
+		}
+	}
+	if zeroAllocErr == nil && len(mustZero) > 0 {
+		for name := range mustZero {
+			zeroAllocErr = fmt.Errorf("-assert-zero-alloc names unknown benchmark %q", name)
+			break
+		}
 	}
 
 	w := os.Stdout
@@ -101,7 +125,10 @@ func run() error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	return zeroAllocErr
 }
 
 type namedBench struct {
@@ -214,6 +241,66 @@ func coreBenchmarks() []namedBench {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				graph.FarWithDegree(graph.FarParams{N: 4096, D: 8, Eps: 0.2}, rng)
+			}
+		}},
+		{"bitset/intersect-count", func(b *testing.B) {
+			// Mirrors internal/bitset BenchmarkIntersectCount: 32-word rows
+			// (a 2048-vertex shadow) at density 0.3.
+			rng := rand.New(rand.NewSource(11))
+			row := func() []uint64 {
+				r := make([]uint64, 32)
+				for k := 0; k < 32*64; k++ {
+					if rng.Float64() < 0.3 {
+						bitset.Mark(r, k)
+					}
+				}
+				return r
+			}
+			x, y := row(), row()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += bitset.IntersectCount(x, y)
+			}
+			_ = sink
+		}},
+		{"graph/count-triangles-dense", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(21))
+			g := graph.ErdosRenyi(2048, 0.05, rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.CountTriangles()
+			}
+		}},
+		{"graph/count-triangles-par", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			g := graph.ErdosRenyi(2048, 0.01, rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.CountTrianglesN(4)
+			}
+		}},
+		{"graph/has-edge-batch", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(22))
+			g := graph.ErdosRenyi(2048, 0.05, rng)
+			const q = 256
+			vs := make([]int32, q)
+			for i := range vs {
+				vs[i] = int32(i * 8 % 2048)
+			}
+			for i := 1; i < len(vs); i++ {
+				for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+					vs[j], vs[j-1] = vs[j-1], vs[j]
+				}
+			}
+			out := make([]bool, q)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.HasEdgeBatch(i%2048, vs, out)
 			}
 		}},
 		{"scenario/chung-lu", scenarioBench("chung-lu")},

@@ -37,6 +37,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -64,6 +66,7 @@ func run() error {
 		csvDir   = flag.String("csv", "", "directory to write per-experiment CSVs")
 		trials   = flag.Int("trials", 0, "override per-point trial count")
 		jobs     = flag.Int("jobs", 0, "trial worker count (<= 0: GOMAXPROCS); tables are identical at any value")
+		intraW   = flag.Int("intra-workers", 0, "goroutines per trial for the parallel graph kernels (<= 0: $TRICOMM_INTRA_WORKERS, then 1); tables are identical at any value")
 		parallel = flag.Int("parallel", 1, "experiments to run concurrently (output order is preserved; each carries its own -jobs pool, so in-flight trials ≈ jobs×parallel)")
 		jsonOut  = flag.Bool("json", false, "emit a JSON array of tables on stdout instead of text")
 		scen     = flag.String("scenario", "", "run one scenario (a registry family name or JSON spec) instead of the experiments")
@@ -73,6 +76,9 @@ func run() error {
 		part     = flag.String("partition", "disjoint", "partition (scenario mode): "+strings.Join(tricomm.SplitSchemeNames(), " | "))
 		proto    = flag.String("protocol", "sim-oblivious", "protocol (scenario mode): "+strings.Join(tricomm.ProtocolNames(), " | "))
 		transp   = flag.String("transport", "chan", "session transport (scenario mode): "+strings.Join(tricomm.TransportNames(), " | "))
+		check    = flag.Bool("check", false, "audit every trial against ground truth (scenario mode): witnesses must be genuine triangles, misses are reported in a note")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -84,7 +90,37 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := harness.RunConfig{Seed: *seed, Quick: *quick, Trials: *trials, Jobs: *jobs}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtable: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-object stats before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtable: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	cfg := harness.RunConfig{Seed: *seed, Quick: *quick, Trials: *trials, Jobs: *jobs,
+		IntraWorkers: *intraW}
 
 	if *scen != "" {
 		trials := cfg.Trials
@@ -93,7 +129,7 @@ func run() error {
 		}
 		table, err := harness.ScenarioTable(ctx, cfg, harness.ScenarioConfig{
 			Spec: *scen, K: *k, Scheme: *part, Protocol: *proto, Transport: *transp,
-			Eps: *eps, KnownDegree: true,
+			Eps: *eps, KnownDegree: true, Check: *check,
 		}, trials)
 		if err != nil {
 			return err

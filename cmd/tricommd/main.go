@@ -54,6 +54,7 @@ func run() error {
 		workers   = flag.Int("workers", 2, "concurrent jobs")
 		queue     = flag.Int("queue", 64, "queued-job bound (503 beyond it)")
 		trialJobs = flag.Int("trial-jobs", 1, "per-job trial parallelism")
+		intraW    = flag.Int("intra-workers", 0, "goroutines per trial for the parallel graph kernels (<= 0: $TRICOMM_INTRA_WORKERS, then 1); results are identical at any value")
 		keep      = flag.Int("keep", 4096, "finished jobs retained for GET")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
 	)
@@ -61,10 +62,11 @@ func run() error {
 
 	logger := log.New(os.Stderr, "tricommd: ", log.LstdFlags)
 	svc := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		TrialJobs:  *trialJobs,
-		KeepJobs:   *keep,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		TrialJobs:    *trialJobs,
+		IntraWorkers: *intraW,
+		KeepJobs:     *keep,
 	})
 
 	handler := svc.Handler()

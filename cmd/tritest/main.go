@@ -71,8 +71,10 @@ func run() (int, error) {
 		check    = flag.Bool("check", true, "compare the verdict against ground truth; exit 2 with the failing seed on disagreement")
 		trials   = flag.Int("trials", 1, "trials (server mode)")
 		server   = flag.String("server", "", "audit a running tricommd at this base URL instead of running locally")
+		intraW   = flag.Int("intra-workers", 0, "goroutines for the ground-truth triangle search (<= 0: $TRICOMM_INTRA_WORKERS, then 1); verdicts are identical at any value")
 	)
 	flag.Parse()
+	intraWorkers = tricomm.IntraWorkers(*intraW)
 
 	if *listScen {
 		fmt.Print(tricomm.ScenarioUsage())
@@ -117,6 +119,10 @@ func resolveSpec(scen, kind string, n int, d, eps float64) (scenario.Spec, error
 	return scenario.Canonical(sp)
 }
 
+// intraWorkers is the resolved -intra-workers value: goroutines for the
+// ground-truth triangle search (deterministic at any width).
+var intraWorkers = 1
+
 // audit compares one verdict against the instance's ground truth. It
 // returns a non-empty failure description on disagreement.
 func audit(g *tricomm.Graph, triangleFree bool, witness *tricomm.Triangle, seed int64) string {
@@ -130,7 +136,7 @@ func audit(g *tricomm.Graph, triangleFree bool, witness *tricomm.Triangle, seed 
 			return fmt.Sprintf("UNSOUND: witness %v is not a triangle of the instance (seed=%d)", w, seed)
 		}
 	}
-	_, hasTriangle := g.FindTriangle()
+	_, hasTriangle := g.FindTriangleN(intraWorkers)
 	if triangleFree && hasTriangle {
 		return fmt.Sprintf("MISS: verdict triangle-free but the instance has a triangle (seed=%d)", seed)
 	}

@@ -243,18 +243,20 @@ func handleCloseVees(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
 		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	var w wire.Writer
+	// Same first-hit contract as the former nested HasEdge loop;
+	// FirstAdjacent just answers each candidate with a shadow bit test
+	// when the view row is dense.
 	for i, u1 := range arms {
-		for _, u2 := range arms[i+1:] {
-			if p.View.HasEdge(u1, u2) {
-				w.WriteBool(true)
-				if err := vc.Put(&w, u1); err != nil {
-					return comm.Msg{}, err
-				}
-				if err := vc.Put(&w, u2); err != nil {
-					return comm.Msg{}, err
-				}
-				return comm.FromWriter(&w), nil
+		if j := p.View.FirstAdjacent(u1, arms[i+1:]); j >= 0 {
+			u2 := arms[i+1+j]
+			w.WriteBool(true)
+			if err := vc.Put(&w, u1); err != nil {
+				return comm.Msg{}, err
 			}
+			if err := vc.Put(&w, u2); err != nil {
+				return comm.Msg{}, err
+			}
+			return comm.FromWriter(&w), nil
 		}
 	}
 	w.WriteBool(false)

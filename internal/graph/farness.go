@@ -2,7 +2,9 @@ package graph
 
 import (
 	"math/bits"
+	"sync"
 
+	"tricomm/internal/bitset"
 	"tricomm/internal/marks"
 )
 
@@ -20,32 +22,133 @@ import (
 // maximum packing.
 // Edge usage is tracked on a pooled epoch-marked slice indexed by the
 // edge's arc position in the CSR neighbor array — no hashing, no per-call
-// map.
+// map — and the growable output scratch recycles through a pool, so the
+// only steady-state allocation is the exact-size result copy.
 func (g *Graph) PackTriangles() []Triangle {
+	buf := triBufPool.Get().(*triBuf)
+	buf.tris = g.packInto(buf.tris[:0])
+	out := make([]Triangle, len(buf.tris))
+	copy(out, buf.tris)
+	triBufPool.Put(buf)
+	return out
+}
+
+// PackTriangleCount reports len(PackTriangles()) without materializing
+// the packing — zero allocations at steady state, for callers that only
+// need the certificate's size (farness bounds, reports).
+func (g *Graph) PackTriangleCount() int {
+	buf := triBufPool.Get().(*triBuf)
+	buf.tris = g.packInto(buf.tris[:0])
+	n := len(buf.tris)
+	triBufPool.Put(buf)
+	return n
+}
+
+// triBuf carries the growable packing scratch between PackTriangles
+// calls.
+type triBuf struct{ tris []Triangle }
+
+var triBufPool = sync.Pool{New: func() any { return new(triBuf) }}
+
+// packInto appends the greedy packing to out and returns it.
+//
+// This is the greedy over the canonical triangle enumeration (ascending
+// (u,v,w), u<v<w: take a triangle iff all three arcs are unused), but
+// driven pair-first rather than through the generic visitor, which the
+// greedy's own structure makes much cheaper:
+//
+//   - arc (u,v) is the position of v in u's row, known for free while
+//     iterating the row — no binary search for the first edge;
+//   - if (u,v) is already used when the pair is reached, every triangle
+//     (u,v,·) would be rejected on that arc, so the whole intersection
+//     is skipped;
+//   - taking (u,v,w) marks (u,v), which rejects every later (u,v,w'),
+//     so the w-scan stops at the first take.
+//
+// The merge strategy also reads the (u,w) and (v,w) arc indexes straight
+// off the merge cursors; only the shadow strategies fall back to
+// arcIndex, and only until the pair's first take. None of this changes
+// which triangles are taken — the checks are pure, so skipping work that
+// could only reject reproduces the visitor-driven greedy exactly (the
+// equivalence is pinned by TestShadowPathEquivalence against
+// Triangles()-order replay).
+func (g *Graph) packInto(out []Triangle) []Triangle {
 	used := marks.Get(len(g.nbr))
-	var out []Triangle
-	g.visitTriangles(func(t Triangle) bool {
-		// Canonical arcs of the triangle (A<B<C, so each pair is already
-		// ordered), resolved lazily: most visited triangles are rejected on
-		// their first edge.
-		ab := g.arcIndex(t.A, t.B)
-		if used.Has(ab) {
-			return true
+	for u := 0; u < g.n; u++ {
+		au := g.row(u)
+		base := int(g.off[u])
+		su := g.shadowRow(u)
+		for i := upperBound(au, int32(u)); i < len(au); i++ {
+			v32 := au[i]
+			v := int(v32)
+			ab := base + i
+			if used.Has(ab) {
+				continue
+			}
+			// Find the smallest w > v adjacent to both u and v whose arcs
+			// (u,w) and (v,w) are still free; take that triangle and move on
+			// to the next pair.
+			take := func(w, ac, bc int) bool {
+				if ac < 0 {
+					ac = g.arcIndex(u, w)
+				}
+				if used.Has(ac) {
+					return false
+				}
+				if bc < 0 {
+					bc = g.arcIndex(v, w)
+				}
+				if used.Has(bc) {
+					return false
+				}
+				used.Add(ab)
+				used.Add(ac)
+				used.Add(bc)
+				out = append(out, Triangle{A: u, B: v, C: w})
+				return true
+			}
+			sv := g.shadowRow(v)
+			switch {
+			case su != nil && sv != nil:
+				bitset.IntersectVisitAbove(su, sv, v, func(w int) bool {
+					return !take(w, -1, -1)
+				})
+			case sv != nil:
+				for j := i + 1; j < len(au); j++ {
+					if w := int(au[j]); bitset.Test(sv, w) && take(w, base+j, -1) {
+						break
+					}
+				}
+			case su != nil:
+				av := g.row(v)
+				basev := int(g.off[v])
+				for j := upperBound(av, v32); j < len(av); j++ {
+					if w := int(av[j]); bitset.Test(su, w) && take(w, -1, basev+j) {
+						break
+					}
+				}
+			default:
+				av := g.row(v)
+				basev := int(g.off[v])
+				p, q := i+1, upperBound(av, v32)
+				for p < len(au) && q < len(av) {
+					switch {
+					case au[p] < av[q]:
+						p++
+					case au[p] > av[q]:
+						q++
+					default:
+						if take(int(au[p]), base+p, basev+q) {
+							p = len(au)
+							break
+						}
+						p++
+						q++
+					}
+				}
+			}
 		}
-		ac := g.arcIndex(t.A, t.C)
-		if used.Has(ac) {
-			return true
-		}
-		bc := g.arcIndex(t.B, t.C)
-		if used.Has(bc) {
-			return true
-		}
-		used.Add(ab)
-		used.Add(ac)
-		used.Add(bc)
-		out = append(out, t)
-		return true
-	})
+	}
 	marks.Put(used)
 	return out
 }
@@ -57,7 +160,7 @@ func (g *Graph) FarnessLowerBound() float64 {
 	if g.m == 0 {
 		return 0
 	}
-	return float64(len(g.PackTriangles())) / float64(g.m)
+	return float64(g.PackTriangleCount()) / float64(g.m)
 }
 
 // ExactTriangleDistance computes, by exhaustive search over removal
@@ -142,23 +245,28 @@ type FarnessReport struct {
 // Analyze computes a FarnessReport. Triangle counting is skipped (set to
 // -1) when the graph has more than maxTriangleWork edges and countAll is
 // false.
-func (g *Graph) Analyze(countAll bool) FarnessReport {
+func (g *Graph) Analyze(countAll bool) FarnessReport { return g.AnalyzeN(countAll, 1) }
+
+// AnalyzeN is Analyze with up to workers goroutines fanning the counting
+// kernels (triangle count and per-source vee matchings); the packing
+// stays serial because the greedy is order-dependent. The report is
+// bit-identical to Analyze at any worker count.
+func (g *Graph) AnalyzeN(countAll bool, workers int) FarnessReport {
 	r := FarnessReport{
 		N:         g.n,
 		M:         g.m,
 		AvgDegree: g.AvgDegree(),
 		MaxDegree: g.MaxDegree(),
 	}
-	pack := g.PackTriangles()
-	r.PackingSize = len(pack)
+	r.PackingSize = g.PackTriangleCount()
 	if g.m > 0 {
-		r.EpsLowerBound = float64(len(pack)) / float64(g.m)
+		r.EpsLowerBound = float64(r.PackingSize) / float64(g.m)
 	}
-	for v := 0; v < g.n; v++ {
-		r.DisjointVees += g.DisjointVeeCountAt(v)
+	for _, c := range g.DisjointVeeCountN(workers) {
+		r.DisjointVees += c
 	}
 	if countAll {
-		r.Triangles = g.CountTriangles()
+		r.Triangles = g.CountTrianglesN(workers)
 		r.TriangleEdges = len(g.TriangleEdges())
 	} else {
 		r.Triangles = -1

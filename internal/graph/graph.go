@@ -13,7 +13,10 @@
 // neighbor array plus per-vertex offsets, so neighbor iteration is a
 // contiguous scan — plus a flat open-addressing edge index (inherited
 // from the Builder's dedup table at Build time) that answers HasEdge in
-// one probe. Three retained arrays total, regardless of n; builder
+// one probe. Rows above a degree threshold additionally materialize
+// word-packed bitset shadows (internal/bitset) so the triangle kernels
+// can intersect dense rows by popcount — see DenseDegreeFloor. Three
+// retained arrays plus the optional shadow slab, regardless of n; builder
 // endpoint slices and transpose scratch recycle through pools, so
 // steady-state construction does not allocate scratch from cold. See
 // DESIGN.md ("memory layout") for the full contract.
@@ -24,6 +27,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"tricomm/internal/bitset"
 	"tricomm/internal/wire"
 )
 
@@ -43,10 +47,94 @@ type Graph struct {
 	off []int32 // len n+1; row boundaries into nbr
 	nbr []int32 // len 2m; concatenated sorted neighbor rows
 	set edgeSet // canonical edge keys for O(1) membership
+
+	// Bitset shadows for dense rows: rows with degree ≥ the dense
+	// threshold get a word-packed copy of their adjacency in one flat slab,
+	// so the triangle kernels can intersect them by popcount instead of by
+	// merge. shadowIdx[v] is v's slot in the slab, or -1 for sparse rows;
+	// shadowIdx is nil when no row qualifies.
+	shadowW   int     // words per shadow row: bitset.Words(n)
+	shadowIdx []int32 // len n; slab slot per vertex, -1 = no shadow
+	shadow    []uint64
 }
 
 // row returns the sorted neighbor row of v.
 func (g *Graph) row(v int) []int32 { return g.nbr[g.off[v]:g.off[v+1]] }
+
+// DenseDegreeFloor tunes the dense-row threshold: a row materializes a
+// bitset shadow when deg(v) ≥ max(DenseDegreeFloor, n/128). At the floor
+// the slab costs at most 16 bytes of shadow per packed adjacency entry;
+// the n/128 term keeps huge sparse graphs from shadowing everything.
+// Set to a negative value to disable shadows entirely (pure merge-path
+// kernels), or to a small positive value to force them in tests. Read at
+// Build time only; not intended for concurrent mutation.
+var DenseDegreeFloor = 16
+
+// denseThreshold resolves the degree bound above which rows get shadows,
+// or -1 when shadows are disabled.
+func (g *Graph) denseThreshold() int {
+	f := DenseDegreeFloor
+	if f < 0 {
+		return -1
+	}
+	t := g.n >> 7
+	if t < f {
+		t = f
+	}
+	if t < 1 {
+		t = 1 // never shadow isolated vertices
+	}
+	return t
+}
+
+// buildShadows materializes bitset shadows for every dense row. Called
+// once at construction (Build and indexEdges); two retained allocations
+// when any row qualifies, none otherwise.
+func (g *Graph) buildShadows() {
+	g.shadowW, g.shadowIdx, g.shadow = 0, nil, nil
+	thr := g.denseThreshold()
+	if thr < 0 || g.n == 0 {
+		return
+	}
+	dense := 0
+	for v := 0; v < g.n; v++ {
+		if g.Degree(v) >= thr {
+			dense++
+		}
+	}
+	if dense == 0 {
+		return
+	}
+	w := bitset.Words(g.n)
+	g.shadowW = w
+	g.shadowIdx = make([]int32, g.n)
+	g.shadow = make([]uint64, dense*w)
+	slot := 0
+	for v := 0; v < g.n; v++ {
+		if g.Degree(v) < thr {
+			g.shadowIdx[v] = -1
+			continue
+		}
+		g.shadowIdx[v] = int32(slot)
+		row := g.shadow[slot*w : (slot+1)*w]
+		for _, nb := range g.row(v) {
+			bitset.Mark(row, int(nb))
+		}
+		slot++
+	}
+}
+
+// shadowRow returns v's bitset shadow, or nil when v is sparse.
+func (g *Graph) shadowRow(v int) []uint64 {
+	if g.shadowIdx == nil {
+		return nil
+	}
+	s := g.shadowIdx[v]
+	if s < 0 {
+		return nil
+	}
+	return g.shadow[int(s)*g.shadowW : (int(s)+1)*g.shadowW]
+}
 
 // endpointScratch carries the builder's recyclable endpoint slices
 // between Build cycles. Only the slices travel through the pool — never
@@ -174,6 +262,7 @@ func (b *Builder) Build() *Graph {
 	builderPool.Put(&endpointScratch{us: b.us, vs: b.vs})
 	b.us, b.vs = nil, nil
 	b.frozen = true
+	g.buildShadows()
 	return g
 }
 
@@ -330,10 +419,20 @@ func (g *Graph) MaxDegree() int {
 // aliases the graph's flat adjacency array; callers must not modify it.
 func (g *Graph) Neighbors(v int) []int32 { return g.row(v) }
 
-// HasEdge reports whether {u,v} ∈ E: one probe into the flat edge index.
+// HasEdge reports whether {u,v} ∈ E: a single bit test when either
+// endpoint has a bitset shadow, one probe into the flat edge index
+// otherwise.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return false
+	}
+	if g.shadowIdx != nil {
+		if s := g.shadowIdx[u]; s >= 0 {
+			return bitset.Test(g.shadow[int(s)*g.shadowW:], v)
+		}
+		if s := g.shadowIdx[v]; s >= 0 {
+			return bitset.Test(g.shadow[int(s)*g.shadowW:], u)
+		}
 	}
 	return g.set.has(edgeKey(g.n, u, v))
 }
@@ -431,7 +530,8 @@ func (g *Graph) Subgraph(keep map[int]bool) *Graph {
 }
 
 // indexEdges fills the membership index from the finished CSR rows (for
-// derived graphs that bypass the Builder).
+// derived graphs that bypass the Builder) and materializes dense-row
+// shadows, so Subgraph/RemoveEdges results get the same kernels.
 func (g *Graph) indexEdges() {
 	g.set.grow(g.m)
 	for u := 0; u < g.n; u++ {
@@ -441,6 +541,7 @@ func (g *Graph) indexEdges() {
 			}
 		}
 	}
+	g.buildShadows()
 }
 
 // RemoveEdges returns a copy of g with the given edges removed.

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file provides intra-trial parallelism: row-range-partitioned
+// variants of the triangle kernels that are bit-identical to the serial
+// ones at any worker count. The contract mirrors the PR 2 harness runner
+// — work is split into deterministic chunks, workers claim chunks from an
+// atomic cursor, and the reduction folds partials in chunk (row) order —
+// but lives here because graph cannot import the runner (the runner
+// already imports graph).
+
+// IntraWorkersEnv is the environment variable consulted when a caller
+// passes a non-positive intra-trial worker count.
+const IntraWorkersEnv = "TRICOMM_INTRA_WORKERS"
+
+// IntraWorkers resolves an intra-trial worker-count request: an explicit
+// n > 0 wins; otherwise TRICOMM_INTRA_WORKERS; otherwise 1. The default
+// is deliberately serial — trial-level parallelism owns the cores, and
+// intra-trial fan-out only pays when a single large job has the box to
+// itself.
+func IntraWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if s := os.Getenv(IntraWorkersEnv); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1
+}
+
+// rowChunks partitions the vertex range [0, n) into at most parts
+// contiguous row ranges balanced by arc count (row cost in every kernel
+// is proportional to its arcs, not its mere presence). Depends only on
+// the graph and parts, never on scheduling.
+func (g *Graph) rowChunks(parts int) [][2]int {
+	if parts < 1 {
+		parts = 1
+	}
+	total := len(g.nbr)
+	target := (total + parts - 1) / parts
+	if target < 1 {
+		target = 1
+	}
+	chunks := make([][2]int, 0, parts)
+	start, arcs := 0, 0
+	for v := 0; v < g.n && len(chunks) < parts-1; v++ {
+		arcs += int(g.off[v+1] - g.off[v])
+		if arcs >= target && v+1 < g.n {
+			chunks = append(chunks, [2]int{start, v + 1})
+			start, arcs = v+1, 0
+		}
+	}
+	if start < g.n || len(chunks) == 0 {
+		chunks = append(chunks, [2]int{start, g.n})
+	}
+	return chunks
+}
+
+// runChunks fans the chunks across workers goroutines. Workers claim
+// chunk indexes from an atomic cursor, so every chunk runs exactly once;
+// which worker runs it is scheduling-dependent, which is why do must
+// write only chunk-indexed state.
+func runChunks(workers, chunks int, do func(chunk int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= chunks {
+					return
+				}
+				do(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// CountTrianglesN counts triangles with up to workers goroutines. The
+// result is bit-identical to CountTriangles at any worker count: each
+// triangle is attributed to its smallest vertex's chunk, partial counts
+// are exact int64s, and the reduction folds them in chunk order.
+func (g *Graph) CountTrianglesN(workers int) int64 {
+	workers = IntraWorkers(workers)
+	if workers <= 1 || g.n == 0 {
+		return g.CountTriangles()
+	}
+	chunks := g.rowChunks(4 * workers)
+	partial := make([]int64, len(chunks))
+	runChunks(workers, len(chunks), func(i int) {
+		partial[i] = g.countTrianglesRange(chunks[i][0], chunks[i][1])
+	})
+	var total int64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// DisjointVeeCountN computes DisjointVeeCount with up to workers
+// goroutines. Per-source matchings are independent (each touches only its
+// own out[v] slot), so the output is bit-identical at any worker count.
+func (g *Graph) DisjointVeeCountN(workers int) []int {
+	workers = IntraWorkers(workers)
+	out := make([]int, g.n)
+	if workers <= 1 || g.n == 0 {
+		for v := 0; v < g.n; v++ {
+			out[v] = g.DisjointVeeCountAt(v)
+		}
+		return out
+	}
+	chunks := g.rowChunks(4 * workers)
+	runChunks(workers, len(chunks), func(i int) {
+		for v := chunks[i][0]; v < chunks[i][1]; v++ {
+			out[v] = g.DisjointVeeCountAt(v)
+		}
+	})
+	return out
+}
+
+// FindTriangleN finds the same witness FindTriangle would — the
+// lexicographically first triangle edge with its smallest apex — using up
+// to workers goroutines. Chunks are claimed in ascending row order and
+// each records its own first hit; a worker skips any chunk above the
+// lowest hit seen so far (nothing below it can change the winner), and
+// the final answer is the lowest-index chunk's hit, which is exactly the
+// serial scan's first hit.
+func (g *Graph) FindTriangleN(workers int) (Triangle, bool) {
+	workers = IntraWorkers(workers)
+	if workers <= 1 || g.n == 0 {
+		return g.FindTriangle()
+	}
+	chunks := g.rowChunks(4 * workers)
+	found := make([]Triangle, len(chunks))
+	hit := make([]bool, len(chunks))
+	var best atomic.Int64
+	best.Store(int64(len(chunks)))
+	runChunks(workers, len(chunks), func(i int) {
+		if int64(i) > best.Load() {
+			return // a lower chunk already has a witness
+		}
+		t, ok := g.findTriangleRange(chunks[i][0], chunks[i][1])
+		if !ok {
+			return
+		}
+		found[i], hit[i] = t, true
+		for {
+			cur := best.Load()
+			if int64(i) >= cur || best.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	})
+	for i := range chunks {
+		if hit[i] {
+			return found[i], true
+		}
+	}
+	return Triangle{}, false
+}
+
+// findTriangleRange is FindTriangle's scan restricted to edges whose
+// smaller endpoint lies in [lo, hi): same edge order, same
+// smallest-apex witness.
+func (g *Graph) findTriangleRange(lo, hi int) (Triangle, bool) {
+	for u := lo; u < hi; u++ {
+		for _, w := range g.row(u) {
+			if int(w) <= u {
+				continue
+			}
+			e := Edge{U: u, V: int(w)}
+			if apex, ok := g.HasTriangleOn(e); ok {
+				return Triangle{A: e.U, B: e.V, C: apex}.Canon(), true
+			}
+		}
+	}
+	return Triangle{}, false
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package graph
+
+// raceEnabled gates allocation-count assertions: under the race
+// detector sync.Pool randomly drops Puts and the instrumentation itself
+// allocates, so allocs/op is not meaningful there.
+const raceEnabled = true

@@ -2,8 +2,9 @@ package graph
 
 import (
 	"fmt"
+	"math/bits"
 
-	"tricomm/internal/marks"
+	"tricomm/internal/bitset"
 )
 
 // Triangle is an unordered vertex triple forming a triangle. The canonical
@@ -47,8 +48,32 @@ func (g *Graph) IsTriangle(u, v, w int) bool {
 
 // HasTriangleOn reports whether edge e participates in some triangle, and
 // returns a witness apex if so. This is the "triangle edge" notion of
-// Definition 3.
+// Definition 3. The witness is always the smallest common neighbor of the
+// endpoints, whichever intersection strategy runs: popcount over two
+// shadows, bit probes along the sparse side, or a sorted merge.
 func (g *Graph) HasTriangleOn(e Edge) (int, bool) {
+	su, sv := g.shadowRow(e.U), g.shadowRow(e.V)
+	switch {
+	case su != nil && sv != nil:
+		if w := bitset.FirstIntersect(su, sv); w >= 0 {
+			return w, true
+		}
+		return -1, false
+	case su != nil:
+		for _, w := range g.row(e.V) {
+			if bitset.Test(su, int(w)) {
+				return int(w), true
+			}
+		}
+		return -1, false
+	case sv != nil:
+		for _, w := range g.row(e.U) {
+			if bitset.Test(sv, int(w)) {
+				return int(w), true
+			}
+		}
+		return -1, false
+	}
 	a, b := g.row(e.U), g.row(e.V)
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -82,13 +107,49 @@ func (g *Graph) FindTriangle() (Triangle, bool) {
 }
 
 // CountTriangles returns the exact number of triangles in g, counting each
-// once. It uses the standard degree-ordered enumeration.
+// once. It uses the standard degree-ordered enumeration, with popcount
+// intersection on dense row pairs.
 func (g *Graph) CountTriangles() int64 {
+	return g.countTrianglesRange(0, g.n)
+}
+
+// countTrianglesRange counts the triangles (u,v,w), u<v<w, whose smallest
+// vertex u lies in [lo, hi). Summing disjoint ranges reproduces
+// CountTriangles exactly — each triangle is attributed to exactly one u —
+// which is what makes the parallel variant bit-identical.
+func (g *Graph) countTrianglesRange(lo, hi int) int64 {
 	var count int64
-	g.visitTriangles(func(Triangle) bool {
-		count++
-		return true
-	})
+	for u := lo; u < hi; u++ {
+		au := g.row(u)
+		fu := au[upperBound(au, int32(u)):]
+		su := g.shadowRow(u)
+		for i, v32 := range fu {
+			v := int(v32)
+			sv := g.shadowRow(v)
+			switch {
+			case su != nil && sv != nil:
+				count += int64(bitset.IntersectCountAbove(su, sv, v))
+			case sv != nil:
+				// u is the sparse side: probe its forward suffix against v's
+				// shadow.
+				for _, w := range fu[i+1:] {
+					if bitset.Test(sv, int(w)) {
+						count++
+					}
+				}
+			case su != nil:
+				av := g.row(v)
+				for _, w := range av[upperBound(av, v32):] {
+					if bitset.Test(su, int(w)) {
+						count++
+					}
+				}
+			default:
+				av := g.row(v)
+				count += intersectCountSorted(fu[i+1:], av[upperBound(av, v32):])
+			}
+		}
+	}
 	return count
 }
 
@@ -106,33 +167,72 @@ func (g *Graph) Triangles(limit int) []Triangle {
 // visitTriangles enumerates each triangle exactly once as (a<b<c) using
 // forward adjacency intersection; fn returning false stops enumeration.
 func (g *Graph) visitTriangles(fn func(Triangle) bool) {
-	// fwd[v] = neighbors of v with id > v.
-	for u := 0; u < g.n; u++ {
+	g.visitTrianglesRange(0, g.n, fn)
+}
+
+// visitTrianglesRange enumerates the triangles whose smallest vertex lies
+// in [lo, hi), in canonical (a, b, c) lexicographic order, reporting
+// whether enumeration ran to completion. Every strategy — popcount visit,
+// bit probes along the sparse side, sorted merge — yields apexes in
+// ascending order, so the emission sequence is independent of which rows
+// happen to have shadows.
+func (g *Graph) visitTrianglesRange(lo, hi int, fn func(Triangle) bool) bool {
+	for u := lo; u < hi; u++ {
 		au := g.row(u)
 		// Find the suffix of au with ids > u.
-		lo := upperBound(au, int32(u))
-		fu := au[lo:]
+		fu := au[upperBound(au, int32(u)):]
+		su := g.shadowRow(u)
 		for i, v32 := range fu {
 			v := int(v32)
-			av := g.row(v)
-			// Intersect fu[i+1:] with neighbors of v greater than v.
-			p, q := i+1, upperBound(av, v32)
-			for p < len(fu) && q < len(av) {
-				switch {
-				case fu[p] < av[q]:
-					p++
-				case fu[p] > av[q]:
-					q++
-				default:
-					if !fn(Triangle{A: u, B: v, C: int(fu[p])}) {
-						return
+			sv := g.shadowRow(v)
+			// Intersect fu[i+1:] (= N(u) ∩ (v,∞)) with N(v) ∩ (v,∞).
+			switch {
+			case su != nil && sv != nil:
+				if !bitset.IntersectVisitAbove(su, sv, v, func(w int) bool {
+					return fn(Triangle{A: u, B: v, C: w})
+				}) {
+					return false
+				}
+			case sv != nil:
+				for _, w := range fu[i+1:] {
+					if bitset.Test(sv, int(w)) {
+						if !fn(Triangle{A: u, B: v, C: int(w)}) {
+							return false
+						}
 					}
-					p++
-					q++
+				}
+			case su != nil:
+				av := g.row(v)
+				for _, w := range av[upperBound(av, v32):] {
+					if bitset.Test(su, int(w)) {
+						if !fn(Triangle{A: u, B: v, C: int(w)}) {
+							return false
+						}
+					}
+				}
+			default:
+				rest := fu[i+1:]
+				av := g.row(v)
+				fv := av[upperBound(av, v32):]
+				p, q := 0, 0
+				for p < len(rest) && q < len(fv) {
+					switch {
+					case rest[p] < fv[q]:
+						p++
+					case rest[p] > fv[q]:
+						q++
+					default:
+						if !fn(Triangle{A: u, B: v, C: int(rest[p])}) {
+							return false
+						}
+						p++
+						q++
+					}
 				}
 			}
 		}
 	}
+	return true
 }
 
 // upperBound returns the first index i with a[i] > x in the sorted slice a.
@@ -141,6 +241,61 @@ func upperBound(a []int32, x int32) int {
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if a[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Sparse-sparse intersections gallop instead of merging when one side is
+// an order of magnitude longer: walk the short side and binary-search a
+// shrinking window of the long side.
+const (
+	gallopSkew = 16 // length ratio that flips merge → gallop
+	gallopMin  = 32 // long side must at least be this long
+)
+
+// intersectCountSorted counts common elements of two sorted rows,
+// galloping when the lengths are badly skewed.
+func intersectCountSorted(a, b []int32) int64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var count int64
+	if len(b) >= gallopMin && len(b) >= gallopSkew*len(a) {
+		for _, x := range a {
+			j := lowerBound(b, x)
+			if j < len(b) && b[j] == x {
+				count++
+			}
+			b = b[j:]
+		}
+		return count
+	}
+	p, q := 0, 0
+	for p < len(a) && q < len(b) {
+		switch {
+		case a[p] < b[q]:
+			p++
+		case a[p] > b[q]:
+			q++
+		default:
+			count++
+			p++
+			q++
+		}
+	}
+	return count
+}
+
+// lowerBound returns the first index i with a[i] >= x in the sorted slice.
+func lowerBound(a []int32, x int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < x {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -202,29 +357,76 @@ func (g *Graph) DisjointVeeCountAt(v int) int {
 }
 
 // disjointVeesAt runs the greedy matching on N(v), reporting each matched
-// vee. The "used neighbor" scratch is a pooled epoch-marked slice instead
-// of a per-call map.
+// vee. Availability lives in a pooled bitset over the vertex universe,
+// seeded with N(v) and only ever shrunk, so the partner search for a
+// dense u is one masked word-AND scan (N(u) ∧ avail above u) and for a
+// sparse u a walk of u's own short row — never the old O(deg v) rescan
+// with a hash probe per candidate.
+//
+// The matching is unchanged from the pre-bitset greedy: for each u in
+// ascending order, the partner is the smallest w > u with w ∈ N(v),
+// w ∈ N(u), and w still unmatched — exactly what the old inner scan of
+// nbrs[i+1:] selected.
 func (g *Graph) disjointVeesAt(v int, emit func(source, left, right int)) {
 	nbrs := g.row(v)
 	if len(nbrs) < 2 {
 		return
 	}
-	used := marks.Get(g.n)
-	for i, u := range nbrs {
-		if used.Has(int(u)) {
+	avail := bitset.Get(g.n)
+	for _, u := range nbrs {
+		avail.Add(int(u))
+	}
+	for _, u32 := range nbrs {
+		u := int(u32)
+		if !avail.Has(u) {
 			continue
 		}
-		for _, w := range nbrs[i+1:] {
-			if used.Has(int(w)) || !g.HasEdge(int(u), int(w)) {
-				continue
+		w := -1
+		if su := g.shadowRow(u); su != nil {
+			w = firstAvailAbove(su, avail, u)
+		} else {
+			ru := g.row(u)
+			for _, w32 := range ru[upperBound(ru, u32):] {
+				if avail.Has(int(w32)) {
+					w = int(w32)
+					break
+				}
 			}
-			used.Add(int(u))
-			used.Add(int(w))
-			emit(v, int(u), int(w))
-			break
+		}
+		if w >= 0 {
+			avail.Remove(u)
+			avail.Remove(w)
+			emit(v, u, w)
 		}
 	}
-	marks.Put(used)
+	bitset.Put(avail)
+}
+
+// firstAvailAbove returns the smallest key > lo present in both the dense
+// shadow row and the availability set, or -1. avail ⊆ N(source) by
+// construction, so the AND directly encodes "adjacent to u, still
+// unmatched".
+func firstAvailAbove(row []uint64, avail *bitset.Set, lo int) int {
+	start := lo + 1
+	nw := len(row)
+	if aw := avail.NumWords(); aw < nw {
+		nw = aw
+	}
+	w := start >> 6
+	if w >= nw {
+		return -1
+	}
+	m := row[w] & avail.Word(w) &^ (1<<(uint(start)&63) - 1)
+	for {
+		if m != 0 {
+			return w<<6 + bits.TrailingZeros64(m)
+		}
+		w++
+		if w >= nw {
+			return -1
+		}
+		m = row[w] & avail.Word(w)
+	}
 }
 
 // DisjointVeeCount returns, for every vertex, the size of a maximal set of

@@ -33,6 +33,11 @@ type ScenarioTrial struct {
 	CertEps float64
 	// N, M are the generated instance's sizes.
 	N, M int
+	// Checked and HasTriangle report the ground-truth audit (only when
+	// ScenarioConfig.Check is set): whether the instance contains any
+	// triangle at all.
+	Checked     bool
+	HasTriangle bool
 }
 
 // ScenarioConfig declares a scenario run: the spec plus the cluster and
@@ -53,6 +58,13 @@ type ScenarioConfig struct {
 	// KnownDegree passes the instance's true average degree to the
 	// tester.
 	KnownDegree bool
+	// Check audits every trial against ground truth: a "found" verdict's
+	// witness must be a genuine triangle of the instance (an unsound
+	// witness fails the run), and each trial records whether the instance
+	// actually contains a triangle, so misses are visible. The audit uses
+	// the deterministic parallel kernel at RunConfig.IntraWorkers, which
+	// cannot change any result.
+	Check bool
 }
 
 // players is the defaulted player count — the one place the scenario
@@ -105,6 +117,19 @@ func RunScenarioTrials(ctx context.Context, cfg RunConfig, sc ScenarioConfig, tr
 		if err != nil {
 			return ScenarioTrial{}, fmt.Errorf("trial %d (seed %d): %w", trial, seed, err)
 		}
+		checked, hasTri := false, false
+		if sc.Check {
+			checked = true
+			_, hasTri = si.Graph.FindTriangleN(cfg.intraWorkers())
+			if !rep.TriangleFree {
+				w := rep.Witness
+				if !si.Graph.IsTriangle(w.A, w.B, w.C) {
+					return ScenarioTrial{}, fmt.Errorf(
+						"trial %d (seed %d): UNSOUND witness %v is not a triangle of the instance",
+						trial, seed, w)
+				}
+			}
+		}
 		return ScenarioTrial{
 			Trial:        trial,
 			Seed:         seed,
@@ -116,6 +141,8 @@ func RunScenarioTrials(ctx context.Context, cfg RunConfig, sc ScenarioConfig, tr
 			CertEps:      si.CertEps,
 			N:            si.Graph.N(),
 			M:            si.Graph.M(),
+			Checked:      checked,
+			HasTriangle:  hasTri,
 		}, nil
 	})
 }
@@ -148,6 +175,22 @@ func ScenarioTable(ctx context.Context, cfg RunConfig, sc ScenarioConfig, trials
 	t.AddNote("spec: %s", sp.JSON())
 	t.AddNote("k=%d scheme=%s transport=%s (seed-exact with tricomm.RunScenario and tricommd jobs)",
 		sc.players(), sc.Scheme, sc.Transport)
+	// The audit note is deterministic in (spec, seed, trials) only — never
+	// in the worker counts — so checked output stays byte-identical at any
+	// -jobs or intra-trial width.
+	if sc.Check {
+		misses, withTri := 0, 0
+		for _, r := range rows {
+			if r.HasTriangle {
+				withTri++
+				if r.TriangleFree {
+					misses++
+				}
+			}
+		}
+		t.AddNote("check: audited %d trials against ground truth: %d with triangles, %d missed, 0 unsound",
+			len(rows), withTri, misses)
+	}
 	return t, nil
 }
 

@@ -255,12 +255,14 @@ func (u UnrestrictedBlackboard) RunOn(ctx context.Context, top *comm.Topology) (
 }
 
 // closeArms looks in view for an edge between two arms of the star at v.
+// FirstAdjacent scans each arm's remaining partners through the view's
+// dense shadows when present (one bit test per candidate instead of a
+// hash probe), returning the same first pair the nested HasEdge loop
+// found.
 func closeArms(view *graph.Graph, v int, arms []int) (graph.Triangle, bool) {
 	for i, u1 := range arms {
-		for _, u2 := range arms[i+1:] {
-			if view.HasEdge(u1, u2) {
-				return graph.Triangle{A: v, B: u1, C: u2}.Canon(), true
-			}
+		if j := view.FirstAdjacent(u1, arms[i+1:]); j >= 0 {
+			return graph.Triangle{A: v, B: u1, C: arms[i+1+j]}.Canon(), true
 		}
 	}
 	return graph.Triangle{}, false

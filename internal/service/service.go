@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tricomm"
+	"tricomm/internal/graph"
 	"tricomm/internal/harness/runner"
 	"tricomm/internal/scenario"
 )
@@ -25,6 +26,12 @@ type Config struct {
 	// runner (default 1, which also keeps streamed results in trial
 	// order). Total in-flight sessions are bounded by Workers × TrialJobs.
 	TrialJobs int
+	// IntraWorkers fans a single trial's graph kernels (the Check
+	// ground-truth audit) across goroutines; ≤ 0 defers to the
+	// TRICOMM_INTRA_WORKERS environment variable, then 1. The parallel
+	// kernels are bit-identical to the serial ones, so this only trades
+	// wall-clock for cores on a box whose trial-level pool is idle.
+	IntraWorkers int
 	// KeepJobs bounds how many finished jobs are retained for GET before
 	// the oldest are evicted (default 4096).
 	KeepJobs int
@@ -40,6 +47,7 @@ func (c Config) withDefaults() Config {
 	if c.TrialJobs <= 0 {
 		c.TrialJobs = 1
 	}
+	c.IntraWorkers = graph.IntraWorkers(c.IntraWorkers)
 	if c.KeepJobs <= 0 {
 		c.KeepJobs = 4096
 	}
@@ -359,7 +367,7 @@ func (s *Server) runTrials(j *job) error {
 				out.Witness = &[3]int{rep.Witness.A, rep.Witness.B, rep.Witness.C}
 			}
 			if spec.Check {
-				_, has := g.FindTriangle()
+				_, has := g.FindTriangleN(s.cfg.IntraWorkers)
 				out.HasTriangle = &has
 			}
 			j.update(func() {

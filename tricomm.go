@@ -61,6 +61,15 @@ func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 // FromEdges builds a graph on n vertices from an edge list.
 func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
 
+// IntraWorkers resolves an intra-trial worker-count request for the
+// parallel graph kernels (Graph.CountTrianglesN, DisjointVeeCountN,
+// FindTriangleN): an explicit n > 0 wins, otherwise the
+// TRICOMM_INTRA_WORKERS environment variable, otherwise 1. The parallel
+// kernels are bit-identical to their serial forms at any worker count,
+// so the knob only trades wall-clock for cores — it can never change a
+// verdict, witness, or count.
+func IntraWorkers(n int) int { return graph.IntraWorkers(n) }
+
 // RandomGraph samples an Erdős–Rényi graph with expected average degree d.
 func RandomGraph(n int, d float64, seed int64) *Graph {
 	return graph.RandomAvgDegree(n, d, rand.New(rand.NewSource(seed)))
