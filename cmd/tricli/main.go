@@ -159,18 +159,24 @@ func cmdSubmit(ctx context.Context, cl *service.Client, args []string) error {
 func cmdGet(ctx context.Context, cl *service.Client, args []string) error {
 	fs := flag.NewFlagSet("tricli get", flag.ContinueOnError)
 	job := fs.String("job", "", "job id")
+	offset := fs.Int("offset", 0, "first trial result to fetch")
+	limit := fs.Int("limit", -1, "max trial results to fetch (-1: all, 0: just the job envelope)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *job == "" {
 		return fmt.Errorf("get: -job required")
 	}
-	ji, err := cl.Job(ctx, *job)
+	ji, err := cl.JobPage(ctx, *job, *offset, *limit)
 	if err != nil {
 		return err
 	}
 	for _, o := range ji.Results {
 		printOutcome(o)
+	}
+	if *offset > 0 || *limit >= 0 {
+		fmt.Printf("(results %d..%d of %d available)\n",
+			ji.ResultsOffset, ji.ResultsOffset+len(ji.Results), ji.ResultsTotal)
 	}
 	return printFinal(ji)
 }

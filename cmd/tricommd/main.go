@@ -4,6 +4,17 @@
 // verdict/witness/bit-cost results.
 //
 //	tricommd -addr 127.0.0.1:7341 -workers 4
+//	tricommd -addr 127.0.0.1:7341 -db /var/lib/tricommd/jobs.db
+//
+// With -db the daemon keeps every job spec, state, and per-trial result
+// in an embedded on-disk store (a single append-only log file, no
+// external dependencies). A daemon killed mid-job and restarted on the
+// same -db resumes unfinished jobs automatically: results that already
+// landed are kept verbatim and only the missing trials are re-run from
+// their deterministic per-trial seeds, so the final results are
+// byte-identical to an uninterrupted run. Finished jobs age out by the
+// -keep count bound and, optionally, the -ttl age bound. Without -db
+// jobs live in memory only and a restart forgets everything.
 //
 // API (see internal/service):
 //
@@ -56,18 +67,34 @@ func run() error {
 		trialJobs = flag.Int("trial-jobs", 1, "per-job trial parallelism")
 		intraW    = flag.Int("intra-workers", 0, "goroutines per trial for the parallel graph kernels (<= 0: $TRICOMM_INTRA_WORKERS, then 1); results are identical at any value")
 		keep      = flag.Int("keep", 4096, "finished jobs retained for GET")
+		db        = flag.String("db", "", "path to the embedded on-disk job store; jobs survive restarts and unfinished ones resume (empty: in-memory only)")
+		ttl       = flag.Duration("ttl", 0, "additionally expire finished jobs this long after completion (0: only the -keep count bound)")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "tricommd: ", log.LstdFlags)
+	var store service.Store = service.NewMemStore()
+	if *db != "" {
+		fs, err := service.OpenFileStore(*db)
+		if err != nil {
+			return fmt.Errorf("open -db: %w", err)
+		}
+		store = fs
+	}
+	defer store.Close()
 	svc := service.New(service.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		TrialJobs:    *trialJobs,
 		IntraWorkers: *intraW,
 		KeepJobs:     *keep,
+		JobTTL:       *ttl,
+		Store:        store,
 	})
+	if st := svc.Stats(); st.Resumed > 0 {
+		logger.Printf("resumed %d unfinished job(s) from %s", st.Resumed, *db)
+	}
 
 	handler := svc.Handler()
 	if !*quiet {
@@ -77,6 +104,7 @@ func run() error {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		svc.Close() // drain workers before the deferred store.Close
 		return err
 	}
 	logger.Printf("listening on http://%s (%d workers, queue %d)", ln.Addr(), *workers, *queue)

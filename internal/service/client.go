@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -81,6 +83,32 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobInfo, error) {
 // Job fetches one job with its per-trial results.
 func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	var ji JobInfo
+	err = c.do(req, &ji)
+	return ji, err
+}
+
+// JobPage fetches one job with a window of its per-trial results:
+// limit < 0 means everything from offset on (limit 0 fetches just the
+// envelope, the cheap way to poll state on a huge job). The reply's
+// ResultsOffset/ResultsTotal locate the window within the available
+// result prefix.
+func (c *Client) JobPage(ctx context.Context, id string, offset, limit int) (JobInfo, error) {
+	u := c.url("/v1/jobs/" + id)
+	q := url.Values{}
+	if offset > 0 {
+		q.Set("offset", strconv.Itoa(offset))
+	}
+	if limit >= 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return JobInfo{}, err
 	}

@@ -6,13 +6,17 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 )
 
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/jobs             submit a JobSpec, returns the queued JobInfo
 //	GET  /v1/jobs             list retained jobs (no per-trial results)
-//	GET  /v1/jobs/{id}        one job, with per-trial results
+//	GET  /v1/jobs/{id}        one job, with per-trial results; ?offset=O
+//	                          &limit=L pages the results (limit 0 returns
+//	                          just the envelope; results_total/
+//	                          results_offset locate the window)
 //	GET  /v1/jobs/{id}/stream NDJSON stream: one TrialOutcome per line as
 //	                          trials land, then a final JobInfo line
 //	GET  /v1/scenarios        the scenario-family catalog (generated from
@@ -20,6 +24,13 @@ import (
 //	                          <name>, ...}} works for every entry)
 //	GET  /v1/stats            service counters
 //	GET  /healthz             liveness (also reports the goroutine count)
+//
+// Error statuses: 400 for malformed payloads and specs failing
+// validation (ErrInvalid), 404 for unknown job ids, 413 for bodies
+// beyond the submission size cap, 503 with the JSON error envelope when
+// the queue is full or the server is draining (back off and retry), and
+// 500 for internal faults (e.g. a persistence-backend failure) — which
+// are never the client's doing.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -45,32 +56,46 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeErr maps service errors onto HTTP statuses. Client faults must be
+// tagged (ErrInvalid, ErrNotFound, an http.MaxBytesError in the chain);
+// anything unrecognized is an internal fault and reports 500 — notably
+// trial-execution and store failures, which used to masquerade as 400s.
 func writeErr(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
 	code := http.StatusInternalServerError
 	switch {
+	case errors.As(err, &tooLarge):
+		code = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
-	case errors.Is(err, ErrBusy):
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
-	case errors.Is(err, ErrClosed):
-		code = http.StatusServiceUnavailable
-	default:
+	case errors.Is(err, ErrInvalid):
 		code = http.StatusBadRequest
 	}
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
-// maxBodyBytes bounds a submission body. Sized so a maximal legal edge
-// list (MaxEdges pairs of 7-digit JSON vertex ids, ~20 bytes per pair)
-// still fits.
-const maxBodyBytes = int64(MaxEdges) * 20
+// maxBodyBytesDefault bounds a submission body. Sized so a maximal legal
+// edge list (MaxEdges pairs of 7-digit JSON vertex ids, ~20 bytes per
+// pair) still fits.
+const maxBodyBytesDefault = int64(MaxEdges) * 20
+
+// maxBodyBytes is a variable only so tests can lower the cap without
+// uploading 80MB bodies.
+var maxBodyBytes = maxBodyBytesDefault
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, fmt.Errorf("decode job: %w", err))
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, fmt.Errorf("decode job: %w", err))
+			return
+		}
+		writeErr(w, fmt.Errorf("%w: decode: %v", ErrInvalid, err))
 		return
 	}
 	ji, err := s.Submit(spec)
@@ -85,8 +110,32 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Jobs())
 }
 
+// pageParam parses a non-negative integer query parameter, returning
+// def when absent.
+func pageParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%w: bad %s %q", ErrInvalid, name, v)
+	}
+	return n, nil
+}
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	ji, err := s.Job(r.PathValue("id"), true)
+	offset, err := pageParam(r, "offset", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	limit, err := pageParam(r, "limit", -1)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	ji, err := s.JobPage(r.PathValue("id"), offset, limit)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -96,7 +145,10 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 // handleStream writes each trial outcome as one NDJSON line the moment it
 // completes (in trial order), then a final line holding the JobInfo
-// envelope (without the results, which were already streamed).
+// envelope (without the results, which were already streamed). The
+// handler holds its own reference to the job, so a stream stays coherent
+// even if the job is collected (KeepJobs/TTL) mid-stream; on server
+// Close the stream ends without a final line.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]

@@ -323,11 +323,22 @@ type JobInfo struct {
 	// TrialsDone counts completed trials.
 	TrialsDone int `json:"trials_done"`
 	// Results are the per-trial outcomes, in trial order, populated as the
-	// job runs.
+	// job runs. A paged request (offset/limit) returns a window of the
+	// contiguous result prefix; ResultsOffset and ResultsTotal locate it.
 	Results []TrialOutcome `json:"results,omitempty"`
+	// ResultsOffset is the trial index of Results[0] (after clamping).
+	ResultsOffset int `json:"results_offset,omitempty"`
+	// ResultsTotal is the length of the available result prefix,
+	// regardless of the window requested.
+	ResultsTotal int `json:"results_total,omitempty"`
 	// Summary is present once the job is done.
 	Summary *Summary `json:"summary,omitempty"`
 }
+
+// ErrInvalid wraps client-fault rejections (malformed payloads, specs
+// failing validation); the HTTP layer maps it to 400 where unrecognized
+// errors are 500.
+var ErrInvalid = errors.New("service: invalid job")
 
 // ErrBusy is returned by Submit when the queue is full.
 var ErrBusy = errors.New("service: queue full")

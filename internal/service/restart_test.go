@@ -1,0 +1,487 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitState polls a job on the server directly until it reaches a
+// terminal state.
+func waitState(t *testing.T, s *Server, id string) JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		ji, err := s.Job(id, true)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		if ji.State == StateDone || ji.State == StateFailed {
+			return ji
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, ji.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRestartResumesByteIdentical is the acceptance test for the durable
+// store: a server killed mid-job and restarted on the same store
+// completes the job with per-trial results byte-identical to an
+// uninterrupted run, re-executing only the trials that had not landed.
+func TestRestartResumesByteIdentical(t *testing.T) {
+	const trials = 40
+	path := filepath.Join(t.TempDir(), "jobs.db")
+	spec := farJob(512, trials, 42)
+
+	// Phase 1: run against a file store and kill the server mid-job.
+	st, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, Store: st})
+	ji, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		cur, err := s.Job(ji.ID, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.TrialsDone >= 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: reopen the store; the job must come back queued with its
+	// landed trials intact, resume automatically, and finish.
+	st2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, landed, ok := st2.GetJob(ji.ID)
+	if !ok {
+		t.Fatalf("job %s not in reopened store", ji.ID)
+	}
+	if rec.State == StateDone || rec.State == StateFailed {
+		t.Fatalf("interrupted job persisted as %s", rec.State)
+	}
+	preserved := len(landed)
+	if preserved >= trials {
+		t.Fatalf("job finished before the kill (%d trials); can't exercise resume", preserved)
+	}
+
+	s2 := New(Config{Workers: 1, Store: st2})
+	if got := s2.Stats().Resumed; got != 1 {
+		t.Fatalf("Resumed = %d, want 1", got)
+	}
+	fin := waitState(t, s2, ji.ID)
+	if fin.State != StateDone {
+		t.Fatalf("resumed job finished %s: %s", fin.State, fin.Error)
+	}
+	// Only the missing trials ran; the landed ones were kept verbatim.
+	if got := s2.Stats().TrialsRun; got != int64(trials-preserved) {
+		t.Fatalf("resumed server ran %d trials, want %d (%d preserved)",
+			got, trials-preserved, preserved)
+	}
+	s2.Close()
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: reference uninterrupted run on the default memory store.
+	ref := New(Config{Workers: 1})
+	rji, err := ref.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfin := waitState(t, ref, rji.ID)
+	ref.Close()
+	if rfin.State != StateDone {
+		t.Fatalf("reference job failed: %s", rfin.Error)
+	}
+
+	got, err := json.Marshal(fin.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(rfin.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("resumed results differ from uninterrupted run\nresumed:  %.200s\nuninterrupted: %.200s",
+			got, want)
+	}
+	if fin.Summary.Found != rfin.Summary.Found || fin.Summary.MeanBits != rfin.Summary.MeanBits {
+		t.Fatalf("summaries differ: %+v vs %+v", fin.Summary, rfin.Summary)
+	}
+}
+
+// TestResumeBacklogBeyondQueueDepth pins that a restart re-enqueues every
+// unfinished job even when the backlog exceeds QueueDepth — resume must
+// never be shed by the server's own backpressure.
+func TestResumeBacklogBeyondQueueDepth(t *testing.T) {
+	st := NewMemStore()
+	const backlog = 5
+	for i := 1; i <= backlog; i++ {
+		rec := JobRecord{
+			ID:   fmt.Sprintf("job-%d", i),
+			Seq:  int64(i),
+			Spec: farJob(64, 2, uint64(i)).withDefaults(),
+			State: func() JobState {
+				if i%2 == 0 {
+					return StateRunning // crashed mid-run
+				}
+				return StateQueued
+			}(),
+			CreatedMS: int64(i),
+			UpdatedMS: int64(i),
+		}
+		if err := st.PutJob(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(Config{Workers: 2, QueueDepth: 1, Store: st})
+	defer s.Close()
+	if got := s.Stats().Resumed; got != backlog {
+		t.Fatalf("Resumed = %d, want %d", got, backlog)
+	}
+	for i := 1; i <= backlog; i++ {
+		fin := waitState(t, s, fmt.Sprintf("job-%d", i))
+		if fin.State != StateDone {
+			t.Fatalf("resumed job-%d finished %s: %s", i, fin.State, fin.Error)
+		}
+		if len(fin.Results) != 2 {
+			t.Fatalf("resumed job-%d has %d results", i, len(fin.Results))
+		}
+	}
+	// The ID counter resumes past the backlog without colliding.
+	ji, err := s.Submit(farJob(32, 1, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.ID != fmt.Sprintf("job-%d", backlog+1) {
+		t.Fatalf("post-resume ID = %s, want job-%d", ji.ID, backlog+1)
+	}
+}
+
+// TestSubmitBusyLeavesNoIDGaps is the regression test for the ID-burn
+// bug: a submission rejected with ErrBusy must not consume a job ID.
+func TestSubmitBusyLeavesNoIDGaps(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	if _, err := s.Submit(farJob(256, 150, 1)); err != nil { // occupies the worker
+		t.Fatal(err)
+	}
+	accepted := 1
+	sawBusy := false
+	for i := 0; i < 50 && !sawBusy; i++ {
+		_, err := s.Submit(farJob(32, 1, uint64(i+2)))
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, ErrBusy):
+			sawBusy = true
+		default:
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	if !sawBusy {
+		t.Fatal("queue never reported ErrBusy")
+	}
+	// Drain everything, then the next accepted ID must be exactly
+	// accepted+1 — rejected submissions left no gaps.
+	for _, ji := range s.Jobs() {
+		waitState(t, s, ji.ID)
+	}
+	ji, err := s.Submit(farJob(32, 1, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("job-%d", accepted+1); ji.ID != want {
+		t.Fatalf("ID after %d accepted submissions = %s, want %s", accepted, ji.ID, want)
+	}
+}
+
+// TestResultPagination covers ?offset=&limit= on GET /v1/jobs/{id} and
+// the client's JobPage, including clamping and the envelope-only probe.
+func TestResultPagination(t *testing.T) {
+	cl, shutdown := newTestServer(t, Config{Workers: 1})
+	defer shutdown()
+	ctx := context.Background()
+
+	ji, err := cl.Submit(ctx, farJob(96, 10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, ji.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		offset, limit  int
+		wantLen, wantO int
+	}{
+		{0, -1, 10, 0},  // everything (the legacy shape)
+		{0, 3, 3, 0},    // first page
+		{3, 3, 3, 3},    // middle page
+		{8, 10, 2, 8},   // short final page
+		{100, 5, 0, 10}, // offset past the end clamps
+		{0, 0, 0, 0},    // envelope-only probe
+	}
+	for _, tc := range cases {
+		page, err := cl.JobPage(ctx, ji.ID, tc.offset, tc.limit)
+		if err != nil {
+			t.Fatalf("JobPage(%d,%d): %v", tc.offset, tc.limit, err)
+		}
+		if len(page.Results) != tc.wantLen || page.ResultsTotal != 10 || page.ResultsOffset != tc.wantO {
+			t.Fatalf("JobPage(%d,%d) = %d results, offset %d, total %d",
+				tc.offset, tc.limit, len(page.Results), page.ResultsOffset, page.ResultsTotal)
+		}
+		for i, r := range page.Results {
+			if r.Trial != page.ResultsOffset+i {
+				t.Fatalf("page (%d,%d) result %d has trial %d", tc.offset, tc.limit, i, r.Trial)
+			}
+		}
+	}
+	// Malformed paging parameters are client faults: 400.
+	resp, err := cl.http().Get(cl.Base + "/v1/jobs/" + ji.ID + "?offset=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("offset=-1 returned %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestWriteErrStatusCodes pins the error→status mapping, in particular
+// the two fixed bugs: oversized bodies are 413 (was 400) and
+// unrecognized internal errors are 500 (was 400).
+func TestWriteErrStatusCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{ErrNotFound, http.StatusNotFound},
+		{ErrBusy, http.StatusServiceUnavailable},
+		{ErrClosed, http.StatusServiceUnavailable},
+		{fmt.Errorf("%w: bad spec", ErrInvalid), http.StatusBadRequest},
+		{fmt.Errorf("decode job: %w", &http.MaxBytesError{Limit: 5}), http.StatusRequestEntityTooLarge},
+		{errors.New("trial 3 (seed 9): session exploded"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeErr(rec, tc.err)
+		if rec.Code != tc.want {
+			t.Errorf("writeErr(%v) = %d, want %d", tc.err, rec.Code, tc.want)
+		}
+	}
+}
+
+// TestSubmitBodyTooLarge413 covers the full HTTP path: a body over the
+// submission cap must surface as 413, not 400.
+func TestSubmitBodyTooLarge413(t *testing.T) {
+	defer func(prev int64) { maxBodyBytes = prev }(maxBodyBytes)
+	maxBodyBytes = 512
+
+	cl, shutdown := newTestServer(t, Config{Workers: 1})
+	defer shutdown()
+
+	// Valid JSON whose in-object whitespace pushes it over the cap, so
+	// only the size — not the syntax — can be the rejection cause.
+	body := `{"graph":{"kind":"far",` + strings.Repeat(" ", 1024) + `"n":64,"d":4,"eps":0.25}}`
+	resp, err := cl.http().Post(cl.Base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body returned %d, want 413", resp.StatusCode)
+	}
+	var ae apiError
+	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil || ae.Error == "" {
+		t.Fatalf("413 reply lacks the JSON error envelope: %v %+v", err, ae)
+	}
+}
+
+// TestTTLExpiresFinishedJobs covers the age half of the GC policy: a
+// finished job older than JobTTL is collected (from the server and the
+// store) by the janitor without any further submissions.
+func TestTTLExpiresFinishedJobs(t *testing.T) {
+	st := NewMemStore()
+	s := New(Config{Workers: 1, JobTTL: 40 * time.Millisecond, Store: st})
+	defer s.Close()
+	ji, err := s.Submit(farJob(32, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, ji.ID)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := s.Job(ji.ID, false); errors.Is(err, ErrNotFound) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job not collected after TTL")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, _, ok := st.GetJob(ji.ID); ok {
+		t.Fatal("TTL collection left the store record behind")
+	}
+}
+
+// TestKeepJobsCollectsOldestFinished pins the count half of the GC
+// policy after the single-pass rewrite: oldest finished jobs beyond
+// KeepJobs go (from server and store), newest stay, order is preserved.
+func TestKeepJobsCollectsOldestFinished(t *testing.T) {
+	st := NewMemStore()
+	s := New(Config{Workers: 1, KeepJobs: 2, Store: st})
+	defer s.Close()
+	for i := 1; i <= 5; i++ {
+		ji, err := s.Submit(farJob(32, 1, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, ji.ID) // finished ⇒ collectable by the next submit
+	}
+	list := s.Jobs()
+	if len(list) != 2 || list[0].ID != "job-4" || list[1].ID != "job-5" {
+		ids := make([]string, len(list))
+		for i, ji := range list {
+			ids[i] = ji.ID
+		}
+		t.Fatalf("retained %v, want [job-4 job-5]", ids)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, _, ok := st.GetJob(fmt.Sprintf("job-%d", i)); ok {
+			t.Fatalf("collected job-%d still in store", i)
+		}
+	}
+}
+
+// TestStreamSurvivesEviction is the stream-while-evicted regression
+// test: a client holding a job's NDJSON stream must read the complete
+// result set and final envelope even after the GC policy collects the
+// job out from under it.
+func TestStreamSurvivesEviction(t *testing.T) {
+	s := New(Config{Workers: 1, KeepJobs: 1})
+	hs := httptest.NewServer(s.Handler())
+	defer func() { hs.Close(); s.Close() }()
+	cl := &Client{Base: hs.URL, HTTP: hs.Client()}
+	ctx := context.Background()
+
+	ji, err := cl.Submit(ctx, farJob(96, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open the stream but do not consume it yet.
+	resp, err := hs.Client().Get(hs.URL + "/v1/jobs/" + ji.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := cl.Wait(ctx, ji.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Push the finished job out of retention while the stream is open.
+	for i := 0; i < 3; i++ {
+		ji2, err := cl.Submit(ctx, farJob(32, 1, uint64(10+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Wait(ctx, ji2.ID, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Job(ctx, ji.ID); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("job not evicted (err=%v); the regression isn't exercised", err)
+	}
+	// The held stream still yields all 8 trials and the final envelope.
+	sc := bufio.NewScanner(resp.Body)
+	trials, finals := 0, 0
+	for sc.Scan() {
+		var probe struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(sc.Bytes(), &probe) == nil && probe.ID != "" {
+			finals++
+			continue
+		}
+		trials++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if trials != 8 || finals != 1 {
+		t.Fatalf("evicted-job stream delivered %d trials, %d finals; want 8, 1", trials, finals)
+	}
+}
+
+// TestCloseDuringStreamUnblocks is the Close-during-stream regression
+// test: closing the server while a client streams a running job must end
+// the stream promptly (no final envelope) instead of leaving the
+// handler — and the client — parked forever.
+func TestCloseDuringStreamUnblocks(t *testing.T) {
+	s := New(Config{Workers: 1})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	cl := &Client{Base: hs.URL, HTTP: hs.Client()}
+	ctx := context.Background()
+
+	ji, err := cl.Submit(ctx, farJob(512, 500, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		opened := false
+		_, err := cl.Stream(ctx, ji.ID, func(TrialOutcome) error {
+			if !opened {
+				opened = true
+				close(first)
+			}
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case <-first:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream never delivered a trial")
+	}
+	s.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stream reported a clean final state despite the shutdown")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("stream still blocked 15s after Close")
+	}
+	// The interrupted job must not be left in the running state.
+	ji2, err := s.Job(ji.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji2.State == StateRunning {
+		t.Fatalf("job state %s after Close", ji2.State)
+	}
+}

@@ -32,9 +32,22 @@ type Config struct {
 	// kernels are bit-identical to the serial ones, so this only trades
 	// wall-clock for cores on a box whose trial-level pool is idle.
 	IntraWorkers int
-	// KeepJobs bounds how many finished jobs are retained for GET before
-	// the oldest are evicted (default 4096).
+	// KeepJobs bounds how many finished jobs are retained before the
+	// oldest are collected (default 4096).
 	KeepJobs int
+	// JobTTL additionally expires finished jobs by age — a job is
+	// collected once it has been done/failed for longer than JobTTL
+	// (0 = keep until the KeepJobs count bound collects it). Live jobs
+	// are never collected.
+	JobTTL time.Duration
+	// Store is the durability backend (default NewMemStore, which
+	// preserves the historical forget-on-restart behavior). At startup
+	// the server rebuilds its working set from the store: finished
+	// records become listable history, unfinished ones are re-enqueued
+	// and resumed by replaying only their missing trials from the
+	// deterministic per-trial seeds. The caller retains ownership and
+	// must Close the store after Server.Close.
+	Store Store
 }
 
 func (c Config) withDefaults() Config {
@@ -51,12 +64,17 @@ func (c Config) withDefaults() Config {
 	if c.KeepJobs <= 0 {
 		c.KeepJobs = 4096
 	}
+	if c.Store == nil {
+		c.Store = NewMemStore()
+	}
 	return c
 }
 
 // job is the server-side state of one submission.
 type job struct {
-	id   string
+	id  string
+	seq int64
+
 	spec JobSpec
 
 	mu       sync.Mutex
@@ -66,7 +84,9 @@ type job struct {
 	filled   []bool
 	done     int
 	summary  *Summary
+	created  time.Time
 	started  time.Time
+	finished time.Time       // set on done/failed; the TTL clock
 	watchers []chan struct{} // closed-and-discarded on every update
 }
 
@@ -95,9 +115,19 @@ func (j *job) watch() <-chan struct{} {
 	return w
 }
 
-// info snapshots the API view. Results are copied up to the first gap so
-// watchers always see a prefix in trial order.
+// info snapshots the API view with the full result prefix.
 func (j *job) info(withResults bool) JobInfo {
+	if withResults {
+		return j.infoPage(0, -1)
+	}
+	return j.infoPage(0, 0)
+}
+
+// infoPage snapshots the API view with a window of the results. Results
+// are exposed up to the first gap so watchers always see a prefix in
+// trial order; offset/limit select within that prefix (limit < 0 means
+// the whole tail) and ResultsTotal reports the prefix length.
+func (j *job) infoPage(offset, limit int) JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	ji := JobInfo{
@@ -108,14 +138,42 @@ func (j *job) info(withResults bool) JobInfo {
 		TrialsDone: j.done,
 		Summary:    j.summary,
 	}
-	if withResults {
-		n := 0
-		for n < len(j.filled) && j.filled[n] {
-			n++
-		}
-		ji.Results = append([]TrialOutcome(nil), j.results[:n]...)
+	n := 0
+	for n < len(j.filled) && j.filled[n] {
+		n++
+	}
+	ji.ResultsTotal = n
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > n {
+		offset = n
+	}
+	ji.ResultsOffset = offset
+	end := n
+	if limit >= 0 && offset+limit < end {
+		end = offset + limit
+	}
+	if offset < end {
+		ji.Results = append([]TrialOutcome(nil), j.results[offset:end]...)
 	}
 	return ji
+}
+
+// record snapshots the job's persisted envelope.
+func (j *job) record() JobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobRecord{
+		ID:        j.id,
+		Seq:       j.seq,
+		Spec:      j.spec,
+		State:     j.state,
+		Error:     j.err,
+		Summary:   j.summary,
+		CreatedMS: j.created.UnixMilli(),
+		UpdatedMS: time.Now().UnixMilli(),
+	}
 }
 
 // Server schedules submitted jobs onto a bounded worker pool. Create with
@@ -123,11 +181,12 @@ func (j *job) info(withResults bool) JobInfo {
 // worker, so a closed server has no goroutines left.
 type Server struct {
 	cfg   Config
+	store Store
 	start time.Time
 
 	mu     sync.Mutex
 	jobs   map[string]*job
-	order  []string // insertion order, for listing and eviction
+	order  []string // insertion order, for listing and collection
 	closed bool
 
 	queue  chan *job
@@ -136,32 +195,101 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	nextID    atomic.Int64
+	resumed   int64 // set before workers start, read-only after
 	submitted atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
+	trialsRun atomic.Int64
+	storeErrs atomic.Int64
 }
 
-// New starts a server with cfg's worker pool.
+// New starts a server with cfg's worker pool. If cfg.Store holds prior
+// state (a reopened FileStore), the working set is rebuilt from it
+// before the workers start: finished jobs become listable history and
+// unfinished ones are re-enqueued for resumption, oldest first.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:    cfg,
+		store:  cfg.Store,
 		start:  time.Now(),
 		jobs:   make(map[string]*job),
-		queue:  make(chan *job, cfg.QueueDepth),
 		ctx:    ctx,
 		cancel: cancel,
 	}
+
+	var pending []*job
+	var maxSeq int64
+	for _, rec := range s.store.ListJobs() {
+		j := s.jobFromRecord(rec)
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if j.state == StateQueued {
+			pending = append(pending, j)
+		}
+	}
+	s.nextID.Store(maxSeq)
+	s.resumed = int64(len(pending))
+
+	// The queue is oversized by the resume backlog so a restart can never
+	// lose jobs to its own backpressure; Submit still rejects beyond
+	// QueueDepth, so client-visible semantics are unchanged.
+	s.queue = make(chan *job, cfg.QueueDepth+len(pending))
+	for _, j := range pending {
+		s.queue <- j
+	}
+
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if cfg.JobTTL > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
 	return s
 }
 
+// jobFromRecord materializes a stored job. Records caught mid-flight
+// (queued or running at crash time) restart as queued with their landed
+// trials kept verbatim; runTrials then executes only the missing ones.
+func (s *Server) jobFromRecord(rec JobRecord) *job {
+	_, trials, _ := s.store.GetJob(rec.ID)
+	j := &job{
+		id:      rec.ID,
+		seq:     rec.Seq,
+		spec:    rec.Spec,
+		state:   rec.State,
+		err:     rec.Error,
+		summary: rec.Summary,
+		created: time.UnixMilli(rec.CreatedMS),
+		results: make([]TrialOutcome, rec.Spec.Trials),
+		filled:  make([]bool, rec.Spec.Trials),
+	}
+	for _, out := range trials {
+		if out.Trial >= 0 && out.Trial < len(j.results) && !j.filled[out.Trial] {
+			j.results[out.Trial] = out
+			j.filled[out.Trial] = true
+			j.done++
+		}
+	}
+	switch j.state {
+	case StateDone, StateFailed:
+		j.finished = time.UnixMilli(rec.UpdatedMS)
+	default:
+		j.state = StateQueued
+	}
+	return j
+}
+
 // Close stops accepting jobs, cancels running ones, and waits for the
-// workers to exit. Queued jobs are marked failed.
+// workers to exit. Interrupted jobs are parked back in the queued state
+// (and persisted as such), so a durable store resumes them on the next
+// start. The store itself is left open for the caller to Close.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -176,15 +304,18 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Submit validates and enqueues a job, returning its queued info.
+// Submit validates and enqueues a job, returning its queued info. The
+// job ID is assigned only once admission is guaranteed, so rejected
+// submissions (ErrBusy, store failures) leave no gaps in the sequence.
 func (s *Server) Submit(spec JobSpec) (JobInfo, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
-		return JobInfo{}, fmt.Errorf("service: invalid job: %w", err)
+		return JobInfo{}, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	j := &job{
 		spec:    spec,
 		state:   StateQueued,
+		created: time.Now(),
 		results: make([]TrialOutcome, spec.Trials),
 		filled:  make([]bool, spec.Trials),
 	}
@@ -194,40 +325,89 @@ func (s *Server) Submit(spec JobSpec) (JobInfo, error) {
 		s.mu.Unlock()
 		return JobInfo{}, ErrClosed
 	}
-	j.id = fmt.Sprintf("job-%d", s.nextID.Add(1))
-	select {
-	case s.queue <- j:
-	default:
+	// Backpressure check under the lock: all senders hold s.mu and
+	// receivers only drain, so len < cap here guarantees the send below
+	// cannot block. The queue may be physically larger than QueueDepth
+	// (resume backlog); admission is still bounded by QueueDepth.
+	if len(s.queue) >= s.cfg.QueueDepth || len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		return JobInfo{}, ErrBusy
 	}
+	seq := s.nextID.Add(1)
+	j.seq = seq
+	j.id = fmt.Sprintf("job-%d", seq)
+	if err := s.store.PutJob(j.record()); err != nil {
+		// Not admitted: roll the sequence back (serialized under s.mu).
+		s.nextID.Add(-1)
+		s.mu.Unlock()
+		return JobInfo{}, fmt.Errorf("service: store: %w", err)
+	}
+	s.queue <- j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	s.evictLocked()
+	s.gcLocked(time.Now())
 	s.mu.Unlock()
 
 	s.submitted.Add(1)
 	return j.info(false), nil
 }
 
-// evictLocked drops the oldest finished jobs beyond the retention bound.
-func (s *Server) evictLocked() {
-	for len(s.order) > s.cfg.KeepJobs {
-		evicted := false
-		for i, id := range s.order {
-			j := s.jobs[id]
-			j.mu.Lock()
-			finished := j.state == StateDone || j.state == StateFailed
-			j.mu.Unlock()
-			if finished {
-				delete(s.jobs, id)
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				evicted = true
-				break
+// gcLocked collects finished jobs in one forward pass over the insertion
+// order: the oldest finished jobs beyond the KeepJobs bound, plus (when
+// JobTTL is set) any finished longer than JobTTL ago. Collected jobs are
+// removed from the store too. Live jobs are never collected, so the
+// retained count can exceed KeepJobs while the pool is saturated.
+func (s *Server) gcLocked(now time.Time) {
+	over := len(s.order) - s.cfg.KeepJobs
+	if over <= 0 && s.cfg.JobTTL <= 0 {
+		return
+	}
+	// kept shares s.order's backing array; the write index never passes
+	// the read index, so compacting in place during the scan is safe.
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		finished := j.state == StateDone || j.state == StateFailed
+		finishedAt := j.finished
+		j.mu.Unlock()
+		expired := s.cfg.JobTTL > 0 && finished && now.Sub(finishedAt) > s.cfg.JobTTL
+		if finished && (over > 0 || expired) {
+			over-- // any collection shrinks the retained set
+			delete(s.jobs, id)
+			if err := s.store.DeleteJob(id); err != nil {
+				s.storeErrs.Add(1)
 			}
+			continue
 		}
-		if !evicted {
-			return // everything retained is still live
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// GC runs one collection pass immediately (the janitor does this
+// periodically when JobTTL is set).
+func (s *Server) GC() {
+	s.mu.Lock()
+	s.gcLocked(time.Now())
+	s.mu.Unlock()
+}
+
+// janitor ages finished jobs out on a timer while JobTTL is set.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	tick := s.cfg.JobTTL / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.GC()
+		case <-s.ctx.Done():
+			return
 		}
 	}
 }
@@ -241,6 +421,20 @@ func (s *Server) Job(id string, withResults bool) (JobInfo, error) {
 		return JobInfo{}, ErrNotFound
 	}
 	return j.info(withResults), nil
+}
+
+// JobPage returns one job with a window of its per-trial results:
+// limit < 0 means everything from offset on. The window is taken from
+// the contiguous result prefix; ResultsTotal/ResultsOffset in the reply
+// locate it.
+func (s *Server) JobPage(id string, offset, limit int) (JobInfo, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobInfo{}, ErrNotFound
+	}
+	return j.infoPage(offset, limit), nil
 }
 
 // Jobs lists every retained job, oldest first, without per-trial results.
@@ -265,18 +459,38 @@ func (s *Server) worker() {
 	}
 }
 
+// persistJob writes the job's envelope through the store, counting (but
+// otherwise tolerating) backend failures: the in-memory view stays
+// authoritative for this process's lifetime either way.
+func (s *Server) persistJob(j *job) {
+	if err := s.store.PutJob(j.record()); err != nil {
+		s.storeErrs.Add(1)
+	}
+}
+
 // run executes one job's trials through the harness runner.
 func (s *Server) run(j *job) {
 	j.update(func() {
 		j.state = StateRunning
 		j.started = time.Now()
 	})
+	s.persistJob(j)
 	if err := s.runTrials(j); err != nil {
+		if s.ctx.Err() != nil {
+			// Shutdown interruption, not a job fault: park the job back in
+			// the queued state so a durable store resumes it — replaying
+			// only the missing trials — on the next start.
+			j.update(func() { j.state = StateQueued })
+			s.persistJob(j)
+			return
+		}
 		s.failed.Add(1)
 		j.update(func() {
 			j.state = StateFailed
 			j.err = err.Error()
+			j.finished = time.Now()
 		})
+		s.persistJob(j)
 		return
 	}
 	s.completed.Add(1)
@@ -297,13 +511,17 @@ func (s *Server) run(j *job) {
 		}
 		j.state = StateDone
 		j.summary = &sum
+		j.finished = time.Now()
 	})
+	s.persistJob(j)
 }
 
 // runTrials fans the job's trials onto the harness runner. Trial i is a
 // pure function of TrialSeed(spec.Seed, i): instance generation, the
 // split, and the protocol's shared randomness all derive from it, so any
-// outcome can be replayed independently.
+// outcome can be replayed independently — which is also why a resumed
+// job (some trials already filled from the store) just skips the filled
+// ones and produces results byte-identical to an uninterrupted run.
 func (s *Server) runTrials(j *job) error {
 	spec := j.spec
 
@@ -320,6 +538,13 @@ func (s *Server) runTrials(j *job) error {
 
 	_, err := runner.MapArena(s.ctx, s.cfg.TrialJobs, spec.Trials,
 		func(ctx context.Context, a *runner.Arena, trial int) (struct{}, error) {
+			j.mu.Lock()
+			alreadyFilled := j.filled[trial]
+			j.mu.Unlock()
+			if alreadyFilled {
+				return struct{}{}, nil // resumed: this outcome survived the restart
+			}
+			s.trialsRun.Add(1)
 			seed := runner.TrialSeed(spec.Seed, trial)
 			g := uploaded
 			var players [][]tricomm.Edge
@@ -375,6 +600,9 @@ func (s *Server) runTrials(j *job) error {
 				j.filled[trial] = true
 				j.done++
 			})
+			if err := s.store.PutTrial(j.id, out); err != nil {
+				s.storeErrs.Add(1)
+			}
 			return struct{}{}, nil
 		})
 	return err
@@ -401,23 +629,39 @@ type Stats struct {
 	// Workers and QueueDepth echo the pool configuration.
 	Workers    int `json:"workers"`
 	QueueDepth int `json:"queue_depth"`
-	// Queued is the current queue length.
+	// Queued is the current queue length (including any resume backlog).
 	Queued int `json:"queued"`
+	// Retained is the number of jobs currently held (and listable).
+	Retained int `json:"retained"`
+	// Resumed counts jobs re-enqueued from the store at startup.
+	Resumed int64 `json:"resumed,omitempty"`
 	// Submitted, Completed, and Failed count jobs over the server's life.
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	// TrialsRun counts trials actually executed (resumed jobs' surviving
+	// trials are kept verbatim and not re-run, so they don't count).
+	TrialsRun int64 `json:"trials_run"`
+	// StoreErrors counts persistence-backend write failures.
+	StoreErrors int64 `json:"store_errors,omitempty"`
 }
 
 // Stats snapshots the service counters.
 func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	retained := len(s.jobs)
+	s.mu.Unlock()
 	return Stats{
-		UptimeMS:   time.Since(s.start).Milliseconds(),
-		Workers:    s.cfg.Workers,
-		QueueDepth: s.cfg.QueueDepth,
-		Queued:     len(s.queue),
-		Submitted:  s.submitted.Load(),
-		Completed:  s.completed.Load(),
-		Failed:     s.failed.Load(),
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+		Workers:     s.cfg.Workers,
+		QueueDepth:  s.cfg.QueueDepth,
+		Queued:      len(s.queue),
+		Retained:    retained,
+		Resumed:     s.resumed,
+		Submitted:   s.submitted.Load(),
+		Completed:   s.completed.Load(),
+		Failed:      s.failed.Load(),
+		TrialsRun:   s.trialsRun.Load(),
+		StoreErrors: s.storeErrs.Load(),
 	}
 }

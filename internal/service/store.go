@@ -1,0 +1,71 @@
+package service
+
+// The store is the durability layer behind Server. Every submitted job,
+// each of its state transitions, and every landed trial outcome is
+// written through a Store; at startup the server scans the store,
+// rebuilds its in-memory working set, and re-enqueues jobs that were
+// queued or mid-run when the previous process died.
+//
+// Resume is replay: trial i of a job is a pure function of
+// TrialSeed(spec.Seed, i) — instance generation, the split, and the
+// protocol's shared randomness all derive from it — so the store never
+// needs to capture execution state beyond the spec and the outcomes that
+// already landed. A resumed job keeps its filled trials verbatim and
+// re-runs only the missing ones, producing results byte-identical to an
+// uninterrupted run (pinned by TestRestartResumesByteIdentical). The
+// same property makes trial-level durability an optimization rather
+// than a correctness requirement: an outcome lost to a crash is simply
+// recomputed from its seed.
+
+// JobRecord is the persisted envelope of one job: everything except the
+// per-trial outcomes, which are stored separately so a record update
+// (state transition) never rewrites result data.
+type JobRecord struct {
+	// ID is the job identifier ("job-<seq>").
+	ID string `json:"id"`
+	// Seq is the monotone submission sequence number; listing order and
+	// the server's ID counter are rebuilt from it at startup.
+	Seq int64 `json:"seq"`
+	// Spec is the submitted job with defaults filled in. Together with
+	// the trial outcomes it is sufficient to resume the job exactly.
+	Spec JobSpec `json:"spec"`
+	// State is the lifecycle position at the last update.
+	State JobState `json:"state"`
+	// Error is the failure cause when State is "failed".
+	Error string `json:"error,omitempty"`
+	// Summary is present once the job is done.
+	Summary *Summary `json:"summary,omitempty"`
+	// CreatedMS and UpdatedMS are unix-millisecond timestamps of
+	// submission and the last update; the TTL/GC policy ages finished
+	// jobs by UpdatedMS.
+	CreatedMS int64 `json:"created_ms"`
+	UpdatedMS int64 `json:"updated_ms"`
+}
+
+// Store persists job records and trial outcomes. Implementations must be
+// safe for concurrent use. Reads never fail because both shipped
+// backends serve them from memory (FileStore replays its log into RAM at
+// open); writes report I/O errors so the server can count them.
+//
+// The server treats the store as the source of truth for what survives a
+// restart and owns record lifecycle (the TTL/GC policy deletes through
+// DeleteJob); the caller that constructed the store owns its handle and
+// must Close it after Server.Close.
+type Store interface {
+	// PutJob upserts a job's envelope. Called at submission and on every
+	// state transition.
+	PutJob(rec JobRecord) error
+	// PutTrial records one completed trial outcome for a job.
+	PutTrial(id string, out TrialOutcome) error
+	// GetJob returns a job's envelope and its landed outcomes in trial
+	// order, or ok=false if the id is unknown.
+	GetJob(id string) (rec JobRecord, trials []TrialOutcome, ok bool)
+	// ListJobs returns every stored envelope in ascending Seq order,
+	// without trial outcomes.
+	ListJobs() []JobRecord
+	// DeleteJob removes a job and its outcomes. Deleting an unknown id
+	// is a no-op.
+	DeleteJob(id string) error
+	// Close releases the backend. The server never calls it.
+	Close() error
+}

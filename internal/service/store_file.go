@@ -1,0 +1,230 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileStore is the embedded on-disk Store behind tricommd -db: a single
+// append-only NDJSON log replayed into memory at open and compacted to a
+// canonical snapshot before appending resumes. It has no dependencies
+// beyond the standard library, which keeps the daemon a single static
+// binary.
+//
+// Log format: one JSON object per line, {"op": "job"|"trial"|"del", ...}.
+// A job's envelope line is (re)appended on every state transition; trial
+// outcomes are appended as they land. Replay stops at the first
+// unparsable line, which makes a torn final write (crash mid-append)
+// self-healing: everything before it is kept, and the compaction rewrite
+// drops the tail.
+//
+// Durability policy: envelope writes (PutJob, DeleteJob) are fsynced —
+// they are rare and carry the state machine; trial writes are not —
+// losing the last few outcomes to a crash only means those trials are
+// recomputed from their deterministic seeds at resume (see store.go).
+type FileStore struct {
+	mem  *MemStore // authoritative in-RAM state, serving all reads
+	path string
+
+	// mem.mu also serializes f: every write path locks mem first.
+	f *os.File
+}
+
+type logEntry struct {
+	Op    string        `json:"op"`
+	Job   *JobRecord    `json:"job,omitempty"`
+	ID    string        `json:"id,omitempty"`
+	Trial *TrialOutcome `json:"trial,omitempty"`
+}
+
+// maxLogLine bounds one log line at replay. Sized for an envelope
+// carrying a maximal uploaded edge list (MaxEdges pairs, ~20 JSON bytes
+// per pair) with headroom.
+const maxLogLine = int(maxBodyBytesDefault) + (1 << 20)
+
+// OpenFileStore opens (creating if absent) the log at path, replays it,
+// and compacts it in place via an atomic rename.
+func OpenFileStore(path string) (*FileStore, error) {
+	mem := NewMemStore()
+	if err := replayLog(path, mem); err != nil {
+		return nil, fmt.Errorf("service: replay %s: %w", path, err)
+	}
+	if err := compactLog(path, mem); err != nil {
+		return nil, fmt.Errorf("service: compact %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{mem: mem, path: path, f: f}, nil
+}
+
+// replayLog applies every well-formed line of the log to mem, stopping
+// silently at the first torn or corrupt line.
+func replayLog(path string, mem *MemStore) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLogLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e logEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil // torn tail: keep what replayed, compaction drops the rest
+		}
+		switch e.Op {
+		case "job":
+			if e.Job != nil {
+				_ = mem.PutJob(*e.Job)
+			}
+		case "trial":
+			if e.Trial != nil {
+				_ = mem.PutTrial(e.ID, *e.Trial)
+			}
+		case "del":
+			_ = mem.DeleteJob(e.ID)
+		}
+	}
+	// A line exceeding the buffer is corruption of the same kind as a
+	// torn tail; scanner errors after a clean prefix are tolerated.
+	return nil
+}
+
+// compactLog atomically rewrites the log as one canonical snapshot of
+// mem: per job (in Seq order) the envelope line followed by its trial
+// lines. This bounds growth across restarts — superseded envelope lines
+// and deleted jobs' entries are dropped.
+func compactLog(path string, mem *MemStore) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	for _, rec := range mem.ListJobs() {
+		rec, trials, _ := mem.GetJob(rec.ID)
+		if err := writeEntry(w, logEntry{Op: "job", Job: &rec}); err != nil {
+			tmp.Close()
+			return err
+		}
+		for i := range trials {
+			if err := writeEntry(w, logEntry{Op: "trial", ID: rec.ID, Trial: &trials[i]}); err != nil {
+				tmp.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func writeEntry(w *bufio.Writer, e logEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// append marshals and writes one entry under the store lock.
+func (s *FileStore) append(e logEntry, sync bool) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if sync {
+		return s.f.Sync()
+	}
+	return nil
+}
+
+// PutJob upserts the envelope and fsyncs the log.
+func (s *FileStore) PutJob(rec JobRecord) error {
+	s.mem.mu.Lock()
+	defer s.mem.mu.Unlock()
+	s.putJobLocked(rec)
+	return s.append(logEntry{Op: "job", Job: &rec}, true)
+}
+
+// putJobLocked is MemStore.PutJob under an already-held lock.
+func (s *FileStore) putJobLocked(rec JobRecord) {
+	if r, ok := s.mem.recs[rec.ID]; ok {
+		r.rec = rec
+		return
+	}
+	s.mem.recs[rec.ID] = &memRec{rec: rec, trials: make(map[int]TrialOutcome)}
+}
+
+// PutTrial records one outcome without fsync (a lost trial is replayed
+// deterministically at resume).
+func (s *FileStore) PutTrial(id string, out TrialOutcome) error {
+	s.mem.mu.Lock()
+	defer s.mem.mu.Unlock()
+	r, ok := s.mem.recs[id]
+	if !ok {
+		return nil
+	}
+	r.trials[out.Trial] = out
+	return s.append(logEntry{Op: "trial", ID: id, Trial: &out}, false)
+}
+
+// GetJob serves from the replayed in-RAM state.
+func (s *FileStore) GetJob(id string) (JobRecord, []TrialOutcome, bool) {
+	return s.mem.GetJob(id)
+}
+
+// ListJobs serves from the replayed in-RAM state.
+func (s *FileStore) ListJobs() []JobRecord {
+	return s.mem.ListJobs()
+}
+
+// DeleteJob removes the record and appends a tombstone (dropped at the
+// next open's compaction).
+func (s *FileStore) DeleteJob(id string) error {
+	s.mem.mu.Lock()
+	defer s.mem.mu.Unlock()
+	if _, ok := s.mem.recs[id]; !ok {
+		return nil
+	}
+	delete(s.mem.recs, id)
+	return s.append(logEntry{Op: "del", ID: id}, true)
+}
+
+// Close flushes and releases the log file.
+func (s *FileStore) Close() error {
+	s.mem.mu.Lock()
+	defer s.mem.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

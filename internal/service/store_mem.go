@@ -1,0 +1,85 @@
+package service
+
+import (
+	"sort"
+	"sync"
+)
+
+// MemStore is the in-memory Store: the default backend, preserving the
+// pre-store behavior where a daemon restart forgets everything.
+type MemStore struct {
+	mu   sync.Mutex
+	recs map[string]*memRec
+}
+
+type memRec struct {
+	rec    JobRecord
+	trials map[int]TrialOutcome
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{recs: make(map[string]*memRec)}
+}
+
+// PutJob upserts the envelope, keeping any outcomes already recorded.
+func (m *MemStore) PutJob(rec JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.recs[rec.ID]; ok {
+		r.rec = rec
+		return nil
+	}
+	m.recs[rec.ID] = &memRec{rec: rec, trials: make(map[int]TrialOutcome)}
+	return nil
+}
+
+// PutTrial records one outcome; outcomes for unknown jobs are dropped
+// (the job line always precedes its trials in normal operation).
+func (m *MemStore) PutTrial(id string, out TrialOutcome) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.recs[id]; ok {
+		r.trials[out.Trial] = out
+	}
+	return nil
+}
+
+// GetJob returns the envelope and outcomes sorted by trial index.
+func (m *MemStore) GetJob(id string) (JobRecord, []TrialOutcome, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.recs[id]
+	if !ok {
+		return JobRecord{}, nil, false
+	}
+	trials := make([]TrialOutcome, 0, len(r.trials))
+	for _, out := range r.trials {
+		trials = append(trials, out)
+	}
+	sort.Slice(trials, func(i, j int) bool { return trials[i].Trial < trials[j].Trial })
+	return r.rec, trials, true
+}
+
+// ListJobs returns the envelopes in ascending Seq order.
+func (m *MemStore) ListJobs() []JobRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobRecord, 0, len(m.recs))
+	for _, r := range m.recs {
+		out = append(out, r.rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// DeleteJob removes the record; unknown ids are a no-op.
+func (m *MemStore) DeleteJob(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.recs, id)
+	return nil
+}
+
+// Close is a no-op.
+func (m *MemStore) Close() error { return nil }

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tricomm/internal/harness/runner"
+)
+
+// sampleRecord builds a canonical record for store tests (defaults filled
+// so JSON round trips reproduce the struct exactly).
+func sampleRecord(seq int64, state JobState) JobRecord {
+	return JobRecord{
+		ID:        fmt.Sprintf("job-%d", seq),
+		Seq:       seq,
+		Spec:      farJob(64, 4, uint64(seq)).withDefaults(),
+		State:     state,
+		CreatedMS: 1700000000000 + seq,
+		UpdatedMS: 1700000000100 + seq,
+	}
+}
+
+func sampleOutcome(trial int) TrialOutcome {
+	return TrialOutcome{
+		Trial:     trial,
+		Seed:      runner.TrialSeed(7, trial),
+		Bits:      100 + int64(trial),
+		Rounds:    3,
+		PhaseBits: map[string]int64{"probe": int64(trial)},
+	}
+}
+
+// storeContract exercises the Store interface semantics shared by both
+// backends: upsert, out-of-order trials returned sorted, Seq-ordered
+// listing, deletion.
+func storeContract(t *testing.T, st Store) {
+	t.Helper()
+	r1, r2 := sampleRecord(1, StateRunning), sampleRecord(2, StateQueued)
+	for _, r := range []JobRecord{r2, r1} { // insertion order ≠ seq order
+		if err := st.PutJob(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, trial := range []int{2, 0, 1} { // trials land out of order
+		if err := st.PutTrial(r1.ID, sampleOutcome(trial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1.State = StateDone
+	r1.Summary = &Summary{Trials: 3, MeanBits: 101}
+	if err := st.PutJob(r1); err != nil { // upsert keeps the trials
+		t.Fatal(err)
+	}
+
+	rec, trials, ok := st.GetJob(r1.ID)
+	if !ok || !reflect.DeepEqual(rec, r1) {
+		t.Fatalf("GetJob = %+v ok=%v, want %+v", rec, ok, r1)
+	}
+	if len(trials) != 3 {
+		t.Fatalf("got %d trials, want 3", len(trials))
+	}
+	for i, out := range trials {
+		if !reflect.DeepEqual(out, sampleOutcome(i)) {
+			t.Fatalf("trial %d = %+v", i, out)
+		}
+	}
+	list := st.ListJobs()
+	if len(list) != 2 || list[0].Seq != 1 || list[1].Seq != 2 {
+		t.Fatalf("ListJobs = %+v", list)
+	}
+	if err := st.DeleteJob(r1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.GetJob(r1.ID); ok {
+		t.Fatal("deleted job still present")
+	}
+	if err := st.DeleteJob("job-never-existed"); err != nil {
+		t.Fatalf("deleting unknown id: %v", err)
+	}
+	if len(st.ListJobs()) != 1 {
+		t.Fatalf("ListJobs after delete = %+v", st.ListJobs())
+	}
+}
+
+func TestMemStoreContract(t *testing.T) {
+	storeContract(t, NewMemStore())
+}
+
+func TestFileStoreContract(t *testing.T) {
+	st, err := OpenFileStore(filepath.Join(t.TempDir(), "jobs.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	storeContract(t, st)
+}
+
+// TestFileStoreReopen pins that a closed-and-reopened log reproduces the
+// exact records and trials, including a deletion tombstone.
+func TestFileStoreReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.db")
+	st, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := sampleRecord(1, StateDone), sampleRecord(2, StateQueued)
+	for _, r := range []JobRecord{r1, r2} {
+		if err := st.PutJob(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 3; trial++ {
+		if err := st.PutTrial(r2.ID, sampleOutcome(trial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.DeleteJob(r1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, _, ok := st2.GetJob(r1.ID); ok {
+		t.Fatal("tombstoned job resurrected by reopen")
+	}
+	rec, trials, ok := st2.GetJob(r2.ID)
+	if !ok || !reflect.DeepEqual(rec, r2) || len(trials) != 3 {
+		t.Fatalf("reopen: rec=%+v ok=%v trials=%d", rec, ok, len(trials))
+	}
+	for i, out := range trials {
+		if !reflect.DeepEqual(out, sampleOutcome(i)) {
+			t.Fatalf("reopened trial %d = %+v", i, out)
+		}
+	}
+
+	// Reopen compacted: the log holds exactly the canonical snapshot (one
+	// envelope line + one line per trial), with the superseded envelope
+	// and the tombstone dropped.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(raw), "\n"); lines != 1+3 {
+		t.Fatalf("compacted log has %d lines, want 4:\n%s", lines, raw)
+	}
+}
+
+// TestFileStoreTornTail pins crash safety of the log: a torn final write
+// (partial JSON line) is dropped at reopen and everything before it is
+// kept.
+func TestFileStoreTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.db")
+	st, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord(1, StateRunning)
+	if err := st.PutJob(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutTrial(rec.ID, sampleOutcome(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"trial","id":"job-1","trial":{"tri`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, trials, ok := st2.GetJob(rec.ID)
+	if !ok || !reflect.DeepEqual(got, rec) || len(trials) != 1 {
+		t.Fatalf("after torn tail: rec=%+v ok=%v trials=%d", got, ok, len(trials))
+	}
+}
