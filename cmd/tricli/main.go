@@ -99,6 +99,9 @@ func jobFlags(fs *flag.FlagSet) func() (service.JobSpec, error) {
 		seed      = fs.Uint64("seed", 1, "base seed")
 		knownDeg  = fs.Bool("known-degree", true, "tell the protocol the true average degree")
 		check     = fs.Bool("check", false, "also report each instance's ground truth")
+		faults    = fs.String("faults", "", "deterministic fault injection: off | lossy | chaos | JSON fault spec")
+		trialTO   = fs.Duration("trial-timeout", 0, "per-trial wall-clock budget (0: server default)")
+		maxFail   = fs.Int("max-failed-trials", 0, "aborted-trial budget: within it the job degrades to 'partial' instead of failing")
 	)
 	return func() (service.JobSpec, error) {
 		graph := service.GraphSpec{Kind: *kind, Spec: scenario.Spec{N: *n, D: *d, Eps: *eps}}
@@ -113,16 +116,19 @@ func jobFlags(fs *flag.FlagSet) func() (service.JobSpec, error) {
 			graph = service.GraphSpec{Spec: sp}
 		}
 		return service.JobSpec{
-			Graph:       graph,
-			K:           *k,
-			Partition:   *part,
-			Protocol:    *proto,
-			Eps:         *eps,
-			KnownDegree: *knownDeg,
-			Trials:      *trials,
-			Transport:   *transport,
-			Seed:        *seed,
-			Check:       *check,
+			Graph:           graph,
+			K:               *k,
+			Partition:       *part,
+			Protocol:        *proto,
+			Eps:             *eps,
+			KnownDegree:     *knownDeg,
+			Trials:          *trials,
+			Transport:       *transport,
+			Seed:            *seed,
+			Check:           *check,
+			Faults:          *faults,
+			TrialTimeoutMS:  trialTO.Milliseconds(),
+			MaxFailedTrials: *maxFail,
 		}, nil
 	}
 }
@@ -190,14 +196,35 @@ func cmdWatch(ctx context.Context, cl *service.Client, args []string) error {
 	if *job == "" {
 		return fmt.Errorf("watch: -job required")
 	}
-	fin, err := cl.Stream(ctx, *job, func(o service.TrialOutcome) error {
-		printOutcome(o)
-		return nil
-	})
-	if err != nil {
-		return err
+	// Every delivered outcome advances the offset, so when the NDJSON
+	// stream drops mid-job the watch reconnects and resumes exactly where
+	// it left off (?offset=) instead of re-printing or losing trials.
+	// Progress resets the failure budget; a server that is truly gone
+	// (or a job that was collected) surfaces after a few attempts.
+	seen, fails := 0, 0
+	for {
+		fin, err := cl.StreamFrom(ctx, *job, seen, func(o service.TrialOutcome) error {
+			printOutcome(o)
+			seen++
+			fails = 0
+			return nil
+		})
+		if err == nil {
+			return printFinal(fin)
+		}
+		if ctx.Err() != nil || errors.Is(err, service.ErrNotFound) {
+			return err
+		}
+		if fails++; fails > 5 {
+			return fmt.Errorf("watch %s: stream kept dropping: %w", *job, err)
+		}
+		fmt.Fprintf(os.Stderr, "tricli: stream dropped (%v), resuming %s at trial %d\n", err, *job, seen)
+		select {
+		case <-time.After(time.Duration(fails) * 200 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
-	return printFinal(fin)
 }
 
 func cmdLoad(ctx context.Context, cl *service.Client, args []string) error {
@@ -219,6 +246,7 @@ func cmdLoad(ctx context.Context, cl *service.Client, args []string) error {
 		next    atomic.Int64
 		found   atomic.Int64
 		free    atomic.Int64
+		partial atomic.Int64
 		failed  atomic.Int64
 		bits    atomic.Int64
 		retried atomic.Int64
@@ -261,6 +289,8 @@ func cmdLoad(ctx context.Context, cl *service.Client, args []string) error {
 					return
 				}
 				switch {
+				case fin.State == service.StatePartial:
+					partial.Add(1)
 				case fin.State != service.StateDone:
 					failed.Add(1)
 				case fin.Summary != nil && fin.Summary.Found > 0:
@@ -280,11 +310,11 @@ func cmdLoad(ctx context.Context, cl *service.Client, args []string) error {
 		return err
 	}
 	elapsed := time.Since(start)
-	done := found.Load() + free.Load() + failed.Load()
+	done := found.Load() + free.Load() + partial.Load() + failed.Load()
 	fmt.Printf("load: %d jobs in %v (%.1f jobs/sec, %d clients)\n",
 		done, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds(), *conc)
-	fmt.Printf("  found-triangle: %d\n  triangle-free:  %d\n  failed:         %d\n",
-		found.Load(), free.Load(), failed.Load())
+	fmt.Printf("  found-triangle: %d\n  triangle-free:  %d\n  partial:        %d\n  failed:         %d\n",
+		found.Load(), free.Load(), partial.Load(), failed.Load())
 	fmt.Printf("  total bits: %d, 503-retries: %d\n", bits.Load(), retried.Load())
 	if failed.Load() > 0 {
 		return fmt.Errorf("%d jobs failed", failed.Load())
@@ -297,13 +327,21 @@ func cmdStats(ctx context.Context, cl *service.Client) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("uptime: %v\nworkers: %d (queue %d, %d queued)\nsubmitted: %d\ncompleted: %d\nfailed: %d\n",
+	fmt.Printf("uptime: %v\nworkers: %d (queue %d, %d queued)\nsubmitted: %d\ncompleted: %d\npartial: %d\nfailed: %d\n",
 		time.Duration(st.UptimeMS)*time.Millisecond, st.Workers, st.QueueDepth, st.Queued,
-		st.Submitted, st.Completed, st.Failed)
+		st.Submitted, st.Completed, st.Partial, st.Failed)
+	if st.TrialRetries > 0 || st.TrialsAborted > 0 {
+		fmt.Printf("trial retries: %d\ntrials aborted: %d\n", st.TrialRetries, st.TrialsAborted)
+	}
 	return nil
 }
 
 func printOutcome(o service.TrialOutcome) {
+	if o.Aborted {
+		fmt.Printf("trial %d seed=%d: ABORTED after %d retries: %s\n",
+			o.Trial, o.Seed, o.Retries, o.Error)
+		return
+	}
 	verdict := "triangle-free"
 	if !o.TriangleFree {
 		if o.Witness != nil {
@@ -316,8 +354,12 @@ func printOutcome(o service.TrialOutcome) {
 	if o.HasTriangle != nil {
 		truth = fmt.Sprintf(" truth-has-triangle=%v", *o.HasTriangle)
 	}
-	fmt.Printf("trial %d seed=%d: %s  bits=%d wire-bytes=%d rounds=%d%s\n",
-		o.Trial, o.Seed, verdict, o.Bits, o.WireBytes, o.Rounds, truth)
+	resil := ""
+	if o.Retransmits > 0 || o.FramesLost > 0 {
+		resil = fmt.Sprintf(" retransmits=%d frames-lost=%d", o.Retransmits, o.FramesLost)
+	}
+	fmt.Printf("trial %d seed=%d: %s  bits=%d wire-bytes=%d rounds=%d%s%s\n",
+		o.Trial, o.Seed, verdict, o.Bits, o.WireBytes, o.Rounds, resil, truth)
 }
 
 func printFinal(ji service.JobInfo) error {
@@ -326,8 +368,12 @@ func printFinal(ji service.JobInfo) error {
 	}
 	if ji.Summary != nil {
 		s := ji.Summary
-		fmt.Printf("%s %s: %d/%d trials found a triangle, mean %.0f bits, max %d bits, %d wire bytes, %dms\n",
-			ji.ID, ji.State, s.Found, s.Trials, s.MeanBits, s.MaxBits, s.WireBytes, s.ElapsedMS)
+		extra := ""
+		if s.FailedTrials > 0 || s.Retries > 0 {
+			extra = fmt.Sprintf(", %d aborted, %d retries", s.FailedTrials, s.Retries)
+		}
+		fmt.Printf("%s %s: %d/%d trials found a triangle, mean %.0f bits, max %d bits, %d wire bytes, %dms%s\n",
+			ji.ID, ji.State, s.Found, s.Trials, s.MeanBits, s.MaxBits, s.WireBytes, s.ElapsedMS, extra)
 	} else {
 		fmt.Printf("%s %s (%d trials done)\n", ji.ID, ji.State, ji.TrialsDone)
 	}

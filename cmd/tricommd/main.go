@@ -5,6 +5,15 @@
 //
 //	tricommd -addr 127.0.0.1:7341 -workers 4
 //	tricommd -addr 127.0.0.1:7341 -db /var/lib/tricommd/jobs.db
+//	tricommd -faults lossy -trial-timeout 30s -trial-retries 2
+//
+// With -faults the daemon injects deterministic link faults (drops,
+// duplication, corruption, stalls, disconnects — seeded per trial, so
+// outcomes replay exactly) into every session of jobs that don't carry
+// their own "faults" spec. Trials whose session aborts or exceeds the
+// trial timeout are re-run up to -trial-retries times and then recorded
+// aborted; a job ends "partial" while its aborted trials stay within its
+// max_failed_trials budget.
 //
 // With -db the daemon keeps every job spec, state, and per-trial result
 // in an embedded on-disk store (a single append-only log file, no
@@ -50,6 +59,7 @@ import (
 	"time"
 
 	"tricomm/internal/service"
+	"tricomm/internal/transport"
 )
 
 func main() {
@@ -69,9 +79,16 @@ func run() error {
 		keep      = flag.Int("keep", 4096, "finished jobs retained for GET")
 		db        = flag.String("db", "", "path to the embedded on-disk job store; jobs survive restarts and unfinished ones resume (empty: in-memory only)")
 		ttl       = flag.Duration("ttl", 0, "additionally expire finished jobs this long after completion (0: only the -keep count bound)")
+		faults    = flag.String("faults", "", "deterministic fault injection applied to jobs that don't set their own spec: off | lossy | chaos | JSON fault spec")
+		trialTO   = flag.Duration("trial-timeout", 0, "default per-trial wall-clock budget for jobs that don't set trial_timeout_ms (0: none)")
+		retries   = flag.Int("trial-retries", 2, "re-runs of an aborted or timed-out trial, same seed, before it is recorded aborted (-1: none)")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Parse()
+
+	if _, err := transport.ParseFaultSpec(*faults); err != nil {
+		return fmt.Errorf("-faults: %w", err)
+	}
 
 	logger := log.New(os.Stderr, "tricommd: ", log.LstdFlags)
 	var store service.Store = service.NewMemStore()
@@ -84,13 +101,16 @@ func run() error {
 	}
 	defer store.Close()
 	svc := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		TrialJobs:    *trialJobs,
-		IntraWorkers: *intraW,
-		KeepJobs:     *keep,
-		JobTTL:       *ttl,
-		Store:        store,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		TrialJobs:     *trialJobs,
+		IntraWorkers:  *intraW,
+		KeepJobs:      *keep,
+		JobTTL:        *ttl,
+		TrialTimeout:  *trialTO,
+		TrialRetries:  *retries,
+		DefaultFaults: *faults,
+		Store:         store,
 	})
 	if st := svc.Stats(); st.Resumed > 0 {
 		logger.Printf("resumed %d unfinished job(s) from %s", st.Resumed, *db)

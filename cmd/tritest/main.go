@@ -39,6 +39,7 @@ import (
 	"tricomm/internal/harness/runner"
 	"tricomm/internal/scenario"
 	"tricomm/internal/service"
+	"tricomm/internal/transport"
 )
 
 func main() {
@@ -71,6 +72,7 @@ func run() (int, error) {
 		check    = flag.Bool("check", true, "compare the verdict against ground truth; exit 2 with the failing seed on disagreement")
 		trials   = flag.Int("trials", 1, "trials (server mode)")
 		server   = flag.String("server", "", "audit a running tricommd at this base URL instead of running locally")
+		faults   = flag.String("faults", "", "deterministic fault injection: off | lossy | chaos | JSON fault spec")
 		intraW   = flag.Int("intra-workers", 0, "goroutines for the ground-truth triangle search (<= 0: $TRICOMM_INTRA_WORKERS, then 1); verdicts are identical at any value")
 	)
 	flag.Parse()
@@ -89,6 +91,9 @@ func run() (int, error) {
 	if _, err := tricomm.ParseTransport(*transp); err != nil {
 		return 1, err
 	}
+	if _, err := transport.ParseFaultSpec(*faults); err != nil {
+		return 1, err
+	}
 	spec, err := resolveSpec(*scen, *kind, *n, *d, *eps)
 	if err != nil {
 		return 1, err
@@ -97,11 +102,11 @@ func run() (int, error) {
 	if *server != "" {
 		return runServer(serverJob{
 			base: *server, spec: spec, k: *k, eps: *eps,
-			proto: *proto, part: *part, transport: *transp,
+			proto: *proto, part: *part, transport: *transp, faults: *faults,
 			seed: uint64(*seed), trials: *trials, knownDeg: *knownDeg, check: *check,
 		})
 	}
-	return runLocal(spec, *eps, *k, *proto, *part, *transp, *seed, *knownDeg, *check)
+	return runLocal(spec, *eps, *k, *proto, *part, *transp, *faults, *seed, *knownDeg, *check)
 }
 
 // resolveSpec turns either a -scenario argument or the legacy
@@ -147,7 +152,7 @@ func audit(g *tricomm.Graph, triangleFree bool, witness *tricomm.Triangle, seed 
 	return ""
 }
 
-func runLocal(spec scenario.Spec, eps float64, k int, proto, part, transp string, seed int64, knownDeg, check bool) (int, error) {
+func runLocal(spec scenario.Spec, eps float64, k int, proto, part, transp, faults string, seed int64, knownDeg, check bool) (int, error) {
 	si, err := tricomm.GenerateScenario(spec.JSON(), seed)
 	if err != nil {
 		return 1, err
@@ -161,7 +166,7 @@ func runLocal(spec scenario.Spec, eps float64, k int, proto, part, transp string
 	if err != nil {
 		return 1, err
 	}
-	opts := tricomm.Options{Protocol: protocol, Eps: eps, Transport: transport}
+	opts := tricomm.Options{Protocol: protocol, Eps: eps, Transport: transport, Faults: faults}
 	if knownDeg {
 		opts.AvgDegree = g.AvgDegree()
 	}
@@ -193,6 +198,9 @@ func runLocal(spec scenario.Spec, eps float64, k int, proto, part, transp string
 	if rep.WireBytes > 0 {
 		fmt.Printf(", %d wire bytes", rep.WireBytes)
 	}
+	if rep.Retransmits > 0 || rep.FramesLost > 0 {
+		fmt.Printf(" (faults: %d frames lost, %d retransmits)", rep.FramesLost, rep.Retransmits)
+	}
 	fmt.Println()
 	for j, b := range rep.PerPlayerBits {
 		fmt.Printf("  player %d: %d bits\n", j, b)
@@ -215,6 +223,7 @@ type serverJob struct {
 	k, trials       int
 	proto, part     string
 	transport       string
+	faults          string
 	seed            uint64
 	knownDeg, check bool
 }
@@ -237,6 +246,7 @@ func runServer(j serverJob) (int, error) {
 		Trials:      j.trials,
 		Transport:   j.transport,
 		Seed:        j.seed,
+		Faults:      j.faults,
 	})
 	if err != nil {
 		return 1, err
@@ -248,8 +258,16 @@ func runServer(j serverJob) (int, error) {
 	// mistaken for drift.
 	baseSeed := ji.Spec.Seed
 
-	failures := 0
+	failures, aborted := 0, 0
 	fin, err := cl.Stream(ctx, ji.ID, func(o service.TrialOutcome) error {
+		if o.Aborted {
+			// An aborted trial carries no verdict to audit; the session
+			// failed typed instead of returning anything unsound.
+			aborted++
+			fmt.Printf("trial %d seed=%d: aborted after %d retries: %s\n",
+				o.Trial, o.Seed, o.Retries, o.Error)
+			return nil
+		}
 		verdict := "triangle-free"
 		if !o.TriangleFree {
 			if o.Witness != nil {
@@ -285,14 +303,21 @@ func runServer(j serverJob) (int, error) {
 	if err != nil {
 		return 1, err
 	}
-	if fin.State != service.StateDone {
+	switch fin.State {
+	case service.StateDone:
+	case service.StatePartial:
+		// Within the job's aborted-trial budget: the completed trials'
+		// verdicts are valid (and audited above); say what's missing.
+		fmt.Printf("note: job %s partial — %d of %d trials aborted under faults\n",
+			fin.ID, aborted, j.trials)
+	default:
 		return 1, fmt.Errorf("job %s finished %s: %s", fin.ID, fin.State, fin.Error)
 	}
 	if failures > 0 {
 		return 2, fmt.Errorf("%d of %d trials disagree with ground truth", failures, j.trials)
 	}
 	if j.check {
-		fmt.Printf("check: all %d trials agree with ground truth\n", j.trials)
+		fmt.Printf("check: all %d completed trials agree with ground truth\n", j.trials-aborted)
 	}
 	return 0, nil
 }

@@ -19,6 +19,10 @@ var (
 	// ErrPlayerDone is returned from Coordinator.Recv when the player has
 	// terminated (usually with an error of its own, which Run reports).
 	ErrPlayerDone = engine.ErrPlayerDone
+	// ErrSessionAborted is returned when a session dies to injected link
+	// faults: a run over a Faulty transport either completes with the
+	// paper's guarantees intact or surfaces this error.
+	ErrSessionAborted = engine.ErrSessionAborted
 )
 
 // Config describes a protocol instance: the vertex universe, the players'

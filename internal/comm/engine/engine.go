@@ -57,6 +57,13 @@ var (
 	// ErrPlayerDone is returned from Coordinator.Recv when the player has
 	// terminated (usually with an error of its own, which Run reports).
 	ErrPlayerDone = errors.New("comm: player terminated")
+	// ErrSessionAborted is returned when a session dies to link faults: a
+	// hard disconnect, an exhausted retransmit budget, or a per-message
+	// deadline on a lossy transport. It is the typed guarantee of the
+	// resilience layer — a faulted run either completes with the paper's
+	// one-sided-error contract intact or surfaces this error; it never
+	// hangs, leaks, or reports an unsound verdict.
+	ErrSessionAborted = errors.New("comm: session aborted")
 )
 
 // Config describes a protocol instance: the vertex universe, the players'

@@ -111,6 +111,14 @@ type Stats struct {
 	// PerLinkBytes[j] is the framed wire traffic on player j's link in both
 	// directions; nil when the run used no transport.
 	PerLinkBytes []int64
+	// Retransmits counts frames re-sent by the resilience layer after
+	// sender-visible loss on a fault-injected transport; zero on clean
+	// links. Completed runs have identical bit meters either way — loss
+	// shows up only here and in WireBytes.
+	Retransmits int64
+	// FramesLost counts injected frame drops and corruptions observed by
+	// the senders on a fault-injected transport; zero on clean links.
+	FramesLost int64
 }
 
 // Phase is one named phase's bit total.

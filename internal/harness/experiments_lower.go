@@ -35,6 +35,7 @@ func buildRegistry() []Experiment {
 		e12Behrend(),
 		e13Bucketing(),
 		e14ScenarioSweep(),
+		e15FaultResilience(),
 	}
 }
 

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"tricomm"
+	"tricomm/internal/harness/runner"
+)
+
+// This file is E15, the resilience axis: the interactive tester run over
+// deterministically faulty links (internal/transport's fault injector),
+// sweeping loss rate against the retransmit budget. Each trial runs the
+// SAME cluster twice — fault-free, then faulted — so the table can pin
+// the resilience contract quantitatively: a session that completes under
+// faults reproduces the fault-free verdict, witness, and bit meter
+// exactly (base_match == ok), pays only wire-level overhead
+// (wire_overhead > 1), and a session that cannot complete aborts typed
+// instead of answering. Fault schedules are seeded from the trial seed,
+// so every cell is a pure function of (seed, schedule) — byte-identical
+// across runs and at any -jobs/-intra-workers setting.
+
+// e15FaultResilience sweeps verdict availability and wire overhead
+// against the injected fault rate.
+func e15FaultResilience() Experiment {
+	return Experiment{
+		ID:    "E15",
+		Title: "Fault injection: verdict availability and wire overhead vs loss rate",
+		PaperClaim: "§2 one-sided error, end to end: under link faults the tester either reproduces " +
+			"the clean verdict exactly or aborts typed — it never returns an unsound answer",
+		Run: func(ctx context.Context, cfg RunConfig) (*Table, error) {
+			schedules := []struct{ name, spec string }{
+				{"off", ""},
+				{"drop05", `{"drop":0.05,"deadline_ms":10000}`},
+				{"drop15", `{"drop":0.15,"deadline_ms":10000}`},
+				{"mixed", `{"drop":0.1,"corrupt":0.05,"duplicate":0.05,"deadline_ms":10000}`},
+				{"lossy-budget4", `{"drop":0.3,"corrupt":0.1,"max_resend":4,"deadline_ms":10000}`},
+				{"starved", `{"drop":0.5,"max_resend":2,"deadline_ms":10000}`},
+			}
+			if cfg.Quick {
+				schedules = []struct{ name, spec string }{
+					schedules[0], schedules[2], schedules[5],
+				}
+			}
+			trials := cfg.trials(3)
+
+			type trialResult struct {
+				ok, found, match                     bool
+				bits, wireClean, wireFaulty, retrans int64
+				lost                                 int64
+			}
+			t := &Table{Columns: []string{"faults", "trials", "ok", "aborted", "found",
+				"mean_bits", "wire_overhead", "retransmits", "frames_lost", "base_match"}}
+			for _, sc := range schedules {
+				rows, err := runner.Map(ctx, cfg.jobs(), trials,
+					func(ctx context.Context, trial int) (trialResult, error) {
+						seed := runner.TrialSeed(cfg.Seed, trial)
+						g, eps := tricomm.FarGraph(256, 8, 0.25, int64(seed))
+						cl, err := tricomm.Split(g, 4, tricomm.SplitDisjoint, seed)
+						if err != nil {
+							return trialResult{}, err
+						}
+						opts := tricomm.Options{Protocol: tricomm.Interactive, Eps: eps, AvgDegree: g.AvgDegree()}
+						base, err := cl.Test(ctx, opts)
+						if err != nil {
+							return trialResult{}, fmt.Errorf("trial %d baseline: %w", trial, err)
+						}
+						res := trialResult{wireClean: base.WireBytes}
+						if sc.spec == "" {
+							res.ok, res.match = true, true
+							res.found = !base.TriangleFree
+							res.bits, res.wireFaulty = base.Bits, base.WireBytes
+							return res, nil
+						}
+						opts.Faults = sc.spec
+						rep, err := cl.Test(ctx, opts)
+						if err != nil {
+							if errors.Is(err, tricomm.ErrSessionAborted) {
+								return res, nil // graceful abort, no verdict
+							}
+							return trialResult{}, fmt.Errorf("trial %d faulted untyped: %w", trial, err)
+						}
+						res.ok = true
+						res.found = !rep.TriangleFree
+						res.bits, res.wireFaulty = rep.Bits, rep.WireBytes
+						res.retrans, res.lost = rep.Retransmits, rep.FramesLost
+						res.match = rep.TriangleFree == base.TriangleFree &&
+							rep.Witness == base.Witness && rep.Bits == base.Bits
+						return res, nil
+					})
+				if err != nil {
+					return nil, err
+				}
+				var ok, aborted, found, match int
+				var bits, wc, wf, retrans, lost int64
+				for _, r := range rows {
+					if !r.ok {
+						aborted++
+						continue
+					}
+					ok++
+					if r.found {
+						found++
+					}
+					if r.match {
+						match++
+					}
+					bits += r.bits
+					wc += r.wireClean
+					wf += r.wireFaulty
+					retrans += r.retrans
+					lost += r.lost
+				}
+				meanBits, overhead := 0.0, 0.0
+				if ok > 0 {
+					meanBits = float64(bits) / float64(ok)
+					overhead = float64(wf) / float64(wc)
+				}
+				t.AddRow(sc.name, trials, ok, aborted, found, meanBits, overhead,
+					retrans, lost, match)
+			}
+			t.AddNote("interactive tester, far(n=256, d=8, eps=0.25), k=4 disjoint; fault schedules seeded per trial")
+			t.AddNote("invariant: base_match == ok on every row — completed faulted runs are bit-identical to clean runs")
+			t.AddNote("wire_overhead = faulted/clean wire bytes over completed trials (envelope + retransmits + duplicates)")
+			return t, nil
+		},
+	}
+}

@@ -7,7 +7,7 @@
 //
 // Each experiment measures communication on parameter sweeps and reports
 // the scaling against the paper's predicted law; DESIGN.md §4 maps
-// experiment ids (E1…E14) to Table 1 rows, and EXPERIMENTS.md records
+// experiment ids (E1…E15) to Table 1 rows, and EXPERIMENTS.md records
 // paper-vs-measured for each.
 package harness
 
@@ -24,7 +24,7 @@ import (
 
 // Table is a rendered experiment result.
 type Table struct {
-	// ID is the experiment id (E1…E14).
+	// ID is the experiment id (E1…E15).
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -156,7 +156,7 @@ func (c RunConfig) trials(def int) int {
 
 // Experiment is a registered, reproducible experiment.
 type Experiment struct {
-	// ID is the experiment identifier (E1…E14).
+	// ID is the experiment identifier (E1…E15).
 	ID string
 	// Title is a one-line description.
 	Title string

@@ -8,7 +8,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	wantIDs := []string{"E1", "E2a", "E2b", "E2c", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	wantIDs := []string{"E1", "E2a", "E2b", "E2c", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 	if len(all) != len(wantIDs) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(wantIDs))
 	}

@@ -18,7 +18,9 @@ import (
 //	                          just the envelope; results_total/
 //	                          results_offset locate the window)
 //	GET  /v1/jobs/{id}/stream NDJSON stream: one TrialOutcome per line as
-//	                          trials land, then a final JobInfo line
+//	                          trials land, then a final JobInfo line;
+//	                          ?offset=N skips the first N trials, which is
+//	                          how a dropped consumer resumes mid-job
 //	GET  /v1/scenarios        the scenario-family catalog (generated from
 //	                          the registry: submitting {"graph": {"family":
 //	                          <name>, ...}} works for every entry)
@@ -70,6 +72,9 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
+		// Load shedding is transient: tell well-behaved clients when to
+		// come back (the service.Client retry honors this).
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrInvalid):
 		code = http.StatusBadRequest
 	}
@@ -148,8 +153,15 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // envelope (without the results, which were already streamed). The
 // handler holds its own reference to the job, so a stream stays coherent
 // even if the job is collected (KeepJobs/TTL) mid-stream; on server
-// Close the stream ends without a final line.
+// Close the stream ends without a final line. ?offset=N starts the
+// stream at trial N, so a consumer whose connection dropped resumes
+// exactly where it left off.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	offset, err := pageParam(r, "offset", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	s.mu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
@@ -163,7 +175,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 
-	next := 0
+	next := offset
 	for {
 		// Arm the watch before reading state so an update between the read
 		// and the wait cannot be missed.
@@ -177,7 +189,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
-		if ji.State == StateDone || ji.State == StateFailed {
+		if ji.State.Finished() {
 			ji.Results = nil
 			_ = enc.Encode(ji)
 			if flusher != nil {

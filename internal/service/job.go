@@ -17,6 +17,7 @@ import (
 
 	"tricomm"
 	"tricomm/internal/scenario"
+	"tricomm/internal/transport"
 )
 
 // Limits keep one malformed or hostile job from starving the pool. The
@@ -188,6 +189,20 @@ type JobSpec struct {
 	// (whether the union graph actually contains a triangle), for health
 	// checks.
 	Check bool `json:"check,omitempty"`
+	// Faults injects deterministic link faults into every trial session:
+	// "" / "off" (none), a preset ("lossy", "chaos"), or a JSON
+	// transport.FaultSpec. The schedule is seeded per trial from the trial
+	// seed (unless the spec pins a seed), so faulted trials replay exactly.
+	Faults string `json:"faults,omitempty"`
+	// TrialTimeoutMS bounds one trial's wall clock in milliseconds; a
+	// trial that exceeds it is retried and eventually recorded aborted.
+	// 0 means no per-trial timeout.
+	TrialTimeoutMS int64 `json:"trial_timeout_ms,omitempty"`
+	// MaxFailedTrials is the per-job budget of aborted trials: a job that
+	// finishes with 1..MaxFailedTrials aborted trials degrades to state
+	// "partial" instead of "failed". 0 means any aborted trial fails the
+	// job (but completed trials are still reported).
+	MaxFailedTrials int `json:"max_failed_trials,omitempty"`
 }
 
 // withDefaults fills the defaulted fields in, canonicalizing the graph
@@ -238,6 +253,15 @@ func (s JobSpec) Validate() error {
 	if _, err := tricomm.ParseTransport(s.Transport); err != nil {
 		return err
 	}
+	if _, err := transport.ParseFaultSpec(s.Faults); err != nil {
+		return err
+	}
+	if s.TrialTimeoutMS < 0 {
+		return fmt.Errorf("trial_timeout_ms %d negative", s.TrialTimeoutMS)
+	}
+	if s.MaxFailedTrials < 0 || s.MaxFailedTrials > MaxTrials {
+		return fmt.Errorf("max_failed_trials %d out of range [0, %d]", s.MaxFailedTrials, MaxTrials)
+	}
 	return nil
 }
 
@@ -251,7 +275,7 @@ func (s JobSpec) options(avgDegree float64) (tricomm.Options, error) {
 	if err != nil {
 		return tricomm.Options{}, err
 	}
-	opts := tricomm.Options{Protocol: p, Eps: s.Eps, Transport: tr}
+	opts := tricomm.Options{Protocol: p, Eps: s.Eps, Transport: tr, Faults: s.Faults}
 	if s.KnownDegree {
 		opts.AvgDegree = avgDegree
 	}
@@ -281,6 +305,18 @@ type TrialOutcome struct {
 	// HasTriangle is the instance's ground truth, present when the job
 	// asked for Check.
 	HasTriangle *bool `json:"has_triangle,omitempty"`
+	// Retransmits and FramesLost are the session's resilience counters,
+	// nonzero only for trials run with fault injection.
+	Retransmits int64 `json:"retransmits,omitempty"`
+	FramesLost  int64 `json:"frames_lost,omitempty"`
+	// Aborted marks a trial that exhausted its retries without completing
+	// (session aborted by faults or trial timeout); Error carries the
+	// cause. Aborted trials have no verdict.
+	Aborted bool   `json:"aborted,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// Retries counts re-runs this trial consumed before completing or
+	// being recorded aborted.
+	Retries int `json:"retries,omitempty"`
 }
 
 // JobState is a job's lifecycle position.
@@ -292,7 +328,17 @@ const (
 	StateRunning JobState = "running"
 	StateDone    JobState = "done"
 	StateFailed  JobState = "failed"
+	// StatePartial is a job that finished with some trials aborted, within
+	// its max_failed_trials budget: every completed trial's result is
+	// valid and present, only the aborted ones are missing verdicts.
+	StatePartial JobState = "partial"
 )
+
+// Finished reports whether the state is terminal (done, partial, or
+// failed) — the condition watchers and GC key on.
+func (s JobState) Finished() bool {
+	return s == StateDone || s == StateFailed || s == StatePartial
+}
 
 // Summary aggregates a finished job.
 type Summary struct {
@@ -308,6 +354,13 @@ type Summary struct {
 	WireBytes int64 `json:"wire_bytes"`
 	// ElapsedMS is the job's wall-clock run time in milliseconds.
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// FailedTrials counts trials recorded aborted (state "partial" when
+	// within the job's budget). Aborted trials are excluded from Found,
+	// MeanBits, and MaxBits.
+	FailedTrials int `json:"failed_trials,omitempty"`
+	// Retries counts trial re-runs across the job (including those that
+	// eventually succeeded).
+	Retries int `json:"retries,omitempty"`
 }
 
 // JobInfo is the API view of a job.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -40,6 +41,17 @@ type Config struct {
 	// (0 = keep until the KeepJobs count bound collects it). Live jobs
 	// are never collected.
 	JobTTL time.Duration
+	// TrialTimeout bounds one trial's wall clock for jobs that don't set
+	// their own trial_timeout_ms (0 = no server-side default).
+	TrialTimeout time.Duration
+	// TrialRetries is how many times an aborted or timed-out trial is
+	// re-run (same trial seed) before being recorded as aborted
+	// (default 2; negative means no retries).
+	TrialRetries int
+	// DefaultFaults is a fault spec applied to jobs that don't set one —
+	// "" (none), a preset, or JSON (see transport.ParseFaultSpec). Used
+	// by the daemon's -faults flag to harden every session it runs.
+	DefaultFaults string
 	// Store is the durability backend (default NewMemStore, which
 	// preserves the historical forget-on-restart behavior). At startup
 	// the server rebuilds its working set from the store: finished
@@ -63,6 +75,11 @@ func (c Config) withDefaults() Config {
 	c.IntraWorkers = graph.IntraWorkers(c.IntraWorkers)
 	if c.KeepJobs <= 0 {
 		c.KeepJobs = 4096
+	}
+	if c.TrialRetries == 0 {
+		c.TrialRetries = 2
+	} else if c.TrialRetries < 0 {
+		c.TrialRetries = 0
 	}
 	if c.Store == nil {
 		c.Store = NewMemStore()
@@ -107,7 +124,7 @@ func (j *job) watch() <-chan struct{} {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	w := make(chan struct{})
-	if j.state == StateDone || j.state == StateFailed {
+	if j.state.Finished() {
 		close(w) // no further updates are coming; don't park watchers
 		return w
 	}
@@ -194,13 +211,16 @@ type Server struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	nextID    atomic.Int64
-	resumed   int64 // set before workers start, read-only after
-	submitted atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	trialsRun atomic.Int64
-	storeErrs atomic.Int64
+	nextID        atomic.Int64
+	resumed       int64 // set before workers start, read-only after
+	submitted     atomic.Int64
+	completed     atomic.Int64
+	partial       atomic.Int64
+	failed        atomic.Int64
+	trialsRun     atomic.Int64
+	trialRetries  atomic.Int64
+	trialsAborted atomic.Int64
+	storeErrs     atomic.Int64
 }
 
 // New starts a server with cfg's worker pool. If cfg.Store holds prior
@@ -277,10 +297,9 @@ func (s *Server) jobFromRecord(rec JobRecord) *job {
 			j.done++
 		}
 	}
-	switch j.state {
-	case StateDone, StateFailed:
+	if j.state.Finished() {
 		j.finished = time.UnixMilli(rec.UpdatedMS)
-	default:
+	} else {
 		j.state = StateQueued
 	}
 	return j
@@ -368,7 +387,7 @@ func (s *Server) gcLocked(now time.Time) {
 	for _, id := range s.order {
 		j := s.jobs[id]
 		j.mu.Lock()
-		finished := j.state == StateDone || j.state == StateFailed
+		finished := j.state.Finished()
 		finishedAt := j.finished
 		j.mu.Unlock()
 		expired := s.cfg.JobTTL > 0 && finished && now.Sub(finishedAt) > s.cfg.JobTTL
@@ -493,10 +512,17 @@ func (s *Server) run(j *job) {
 		s.persistJob(j)
 		return
 	}
-	s.completed.Add(1)
+	var final JobState
 	j.update(func() {
 		sum := Summary{Trials: j.spec.Trials, ElapsedMS: time.Since(j.started).Milliseconds()}
+		completed := 0
 		for _, r := range j.results {
+			sum.Retries += r.Retries
+			if r.Aborted {
+				sum.FailedTrials++
+				continue
+			}
+			completed++
 			if !r.TriangleFree {
 				sum.Found++
 			}
@@ -506,13 +532,33 @@ func (s *Server) run(j *job) {
 			}
 			sum.WireBytes += r.WireBytes
 		}
-		if sum.Trials > 0 {
-			sum.MeanBits /= float64(sum.Trials)
+		if completed > 0 {
+			sum.MeanBits /= float64(completed)
 		}
-		j.state = StateDone
+		// Aborted trials degrade the job within its budget instead of
+		// discarding the completed trials' work.
+		switch {
+		case sum.FailedTrials == 0:
+			j.state = StateDone
+		case sum.FailedTrials <= j.spec.MaxFailedTrials:
+			j.state = StatePartial
+		default:
+			j.state = StateFailed
+			j.err = fmt.Sprintf("%d trials aborted, budget max_failed_trials=%d",
+				sum.FailedTrials, j.spec.MaxFailedTrials)
+		}
+		final = j.state
 		j.summary = &sum
 		j.finished = time.Now()
 	})
+	switch final {
+	case StateDone:
+		s.completed.Add(1)
+	case StatePartial:
+		s.partial.Add(1)
+	default:
+		s.failed.Add(1)
+	}
 	s.persistJob(j)
 }
 
@@ -575,25 +621,71 @@ func (s *Server) runTrials(j *job) error {
 			if err != nil {
 				return struct{}{}, err
 			}
-			rep, err := cl.Test(ctx, opts)
-			if err != nil {
-				return struct{}{}, fmt.Errorf("trial %d (seed %d): %w", trial, seed, err)
+			if opts.Faults == "" {
+				opts.Faults = s.cfg.DefaultFaults
 			}
-			out := TrialOutcome{
-				Trial:        trial,
-				Seed:         seed,
-				TriangleFree: rep.TriangleFree,
-				Bits:         rep.Bits,
-				WireBytes:    rep.WireBytes,
-				Rounds:       rep.Rounds,
-				PhaseBits:    rep.PhaseBits,
+			timeout := time.Duration(spec.TrialTimeoutMS) * time.Millisecond
+			if timeout <= 0 {
+				timeout = s.cfg.TrialTimeout
 			}
-			if !rep.TriangleFree {
-				out.Witness = &[3]int{rep.Witness.A, rep.Witness.B, rep.Witness.C}
+
+			// Run the trial, re-running aborted or timed-out sessions with
+			// the SAME trial seed up to the retry budget. The cluster and
+			// options are reused verbatim, so a retry replays the identical
+			// experiment; only timing-dependent failures (trial timeouts,
+			// wall-clock stalls) can come out differently. A trial that
+			// exhausts the budget is recorded aborted, not fatal: the job's
+			// max_failed_trials budget decides its final state.
+			var rep tricomm.Report
+			var runErr error
+			retries := 0
+			for {
+				tctx, cancel := ctx, context.CancelFunc(func() {})
+				if timeout > 0 {
+					tctx, cancel = context.WithTimeout(ctx, timeout)
+				}
+				rep, runErr = cl.Test(tctx, opts)
+				timedOut := runErr != nil && tctx.Err() != nil && ctx.Err() == nil
+				cancel()
+				if runErr == nil || ctx.Err() != nil {
+					break
+				}
+				if !errors.Is(runErr, tricomm.ErrSessionAborted) && !timedOut {
+					// Not a resilience failure (bad spec, internal error):
+					// fail the whole job as before.
+					return struct{}{}, fmt.Errorf("trial %d (seed %d): %w", trial, seed, runErr)
+				}
+				if retries >= s.cfg.TrialRetries {
+					break
+				}
+				retries++
+				s.trialRetries.Add(1)
 			}
-			if spec.Check {
-				_, has := g.FindTriangleN(s.cfg.IntraWorkers)
-				out.HasTriangle = &has
+			if runErr != nil && ctx.Err() != nil {
+				// Shutdown or job cancellation, not a trial outcome.
+				return struct{}{}, fmt.Errorf("trial %d (seed %d): %w", trial, seed, runErr)
+			}
+
+			out := TrialOutcome{Trial: trial, Seed: seed, Retries: retries}
+			if runErr != nil {
+				out.Aborted = true
+				out.Error = runErr.Error()
+				s.trialsAborted.Add(1)
+			} else {
+				out.TriangleFree = rep.TriangleFree
+				out.Bits = rep.Bits
+				out.WireBytes = rep.WireBytes
+				out.Rounds = rep.Rounds
+				out.PhaseBits = rep.PhaseBits
+				out.Retransmits = rep.Retransmits
+				out.FramesLost = rep.FramesLost
+				if !rep.TriangleFree {
+					out.Witness = &[3]int{rep.Witness.A, rep.Witness.B, rep.Witness.C}
+				}
+				if spec.Check {
+					_, has := g.FindTriangleN(s.cfg.IntraWorkers)
+					out.HasTriangle = &has
+				}
 			}
 			j.update(func() {
 				j.results[trial] = out
@@ -635,13 +727,20 @@ type Stats struct {
 	Retained int `json:"retained"`
 	// Resumed counts jobs re-enqueued from the store at startup.
 	Resumed int64 `json:"resumed,omitempty"`
-	// Submitted, Completed, and Failed count jobs over the server's life.
+	// Submitted, Completed, Partial, and Failed count jobs over the
+	// server's life; partial jobs finished with some trials aborted but
+	// within their max_failed_trials budget.
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
+	Partial   int64 `json:"partial,omitempty"`
 	Failed    int64 `json:"failed"`
 	// TrialsRun counts trials actually executed (resumed jobs' surviving
 	// trials are kept verbatim and not re-run, so they don't count).
 	TrialsRun int64 `json:"trials_run"`
+	// TrialRetries counts trial re-runs after aborts or timeouts;
+	// TrialsAborted counts trials that exhausted the retry budget.
+	TrialRetries  int64 `json:"trial_retries,omitempty"`
+	TrialsAborted int64 `json:"trials_aborted,omitempty"`
 	// StoreErrors counts persistence-backend write failures.
 	StoreErrors int64 `json:"store_errors,omitempty"`
 }
@@ -652,16 +751,19 @@ func (s *Server) Stats() Stats {
 	retained := len(s.jobs)
 	s.mu.Unlock()
 	return Stats{
-		UptimeMS:    time.Since(s.start).Milliseconds(),
-		Workers:     s.cfg.Workers,
-		QueueDepth:  s.cfg.QueueDepth,
-		Queued:      len(s.queue),
-		Retained:    retained,
-		Resumed:     s.resumed,
-		Submitted:   s.submitted.Load(),
-		Completed:   s.completed.Load(),
-		Failed:      s.failed.Load(),
-		TrialsRun:   s.trialsRun.Load(),
-		StoreErrors: s.storeErrs.Load(),
+		UptimeMS:      time.Since(s.start).Milliseconds(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.cfg.QueueDepth,
+		Queued:        len(s.queue),
+		Retained:      retained,
+		Resumed:       s.resumed,
+		Submitted:     s.submitted.Load(),
+		Completed:     s.completed.Load(),
+		Partial:       s.partial.Load(),
+		Failed:        s.failed.Load(),
+		TrialsRun:     s.trialsRun.Load(),
+		TrialRetries:  s.trialRetries.Load(),
+		TrialsAborted: s.trialsAborted.Load(),
+		StoreErrors:   s.storeErrs.Load(),
 	}
 }

@@ -105,6 +105,11 @@ type netConn struct {
 	closed chan struct{}
 	once   sync.Once
 	stats  endStats
+
+	// dlMu serializes read-deadline changes; dlGen invalidates a canceled
+	// context's pending deadline-poisoning callback (see Recv).
+	dlMu  sync.Mutex
+	dlGen uint64
 }
 
 func newNetConn(c net.Conn) *netConn {
@@ -187,11 +192,31 @@ func (c *netConn) Recv(ctx context.Context) (Frame, error) {
 	if done := ctx.Done(); done != nil {
 		// Clear any deadline a previously canceled context left behind,
 		// then arm this context's cancellation to abort the blocking read.
+		// The generation counter closes a race: a cancellation that fires
+		// after this Recv's read already succeeded must not leave a poison
+		// deadline behind for the next Recv, so the callback only sets the
+		// deadline while its own generation is current, and an unsuccessful
+		// stop() (callback started or finished) re-clears under the lock.
+		c.dlMu.Lock()
+		c.dlGen++
+		gen := c.dlGen
 		c.c.SetReadDeadline(time.Time{})
+		c.dlMu.Unlock()
 		stop := context.AfterFunc(ctx, func() {
-			c.c.SetReadDeadline(time.Unix(1, 0))
+			c.dlMu.Lock()
+			defer c.dlMu.Unlock()
+			if c.dlGen == gen {
+				c.c.SetReadDeadline(time.Unix(1, 0))
+			}
 		})
-		defer stop()
+		defer func() {
+			if !stop() {
+				c.dlMu.Lock()
+				c.dlGen++
+				c.c.SetReadDeadline(time.Time{})
+				c.dlMu.Unlock()
+			}
+		}()
 	}
 	f, err := readFrame(c.br)
 	if err != nil {

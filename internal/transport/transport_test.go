@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -17,6 +18,7 @@ func dialers() []Dialer {
 		Net{},
 		Net{TCP: true},
 		WAN{Latency: 50 * time.Microsecond, Jitter: 50 * time.Microsecond, Bandwidth: 1 << 30, Seed: 7},
+		Faulty{Inner: Chan{}}, // disabled spec: must behave as a pass-through
 	}
 }
 
@@ -301,10 +303,109 @@ func TestDialerNames(t *testing.T) {
 		want string
 	}{
 		{Chan{}, "chan"}, {Net{}, "pipe"}, {Net{TCP: true}, "tcp"}, {WAN{}, "wan"},
+		{Faulty{}, "faulty+chan"}, {Faulty{Inner: WAN{}}, "faulty+wan"},
 	} {
 		if got := tc.d.Name(); got != tc.want {
 			t.Errorf("Name() = %q, want %q", got, tc.want)
 		}
+	}
+}
+
+// TestNetRecvCancelNoPoison is the regression test for the read-deadline
+// race: a Recv canceled via its context used to leave the poison deadline
+// (time.Unix(1, 0)) armed on the socket, so the *next* Recv — if called
+// with a context that has no done channel — failed instantly with
+// ErrClosed instead of reading the peer's frame.
+func TestNetRecvCancelNoPoison(t *testing.T) {
+	for _, d := range []Dialer{Net{}, Net{TCP: true}} {
+		t.Run(d.Name(), func(t *testing.T) {
+			links, err := d.Dial(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeLinks(links)
+			l := links[0]
+
+			// Cancel a blocked Recv: the poisoning callback definitely runs.
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := l.B.Recv(ctx)
+				done <- err
+			}()
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+			if err := <-done; !errors.Is(err, context.Canceled) {
+				t.Fatalf("canceled Recv: %v, want context.Canceled", err)
+			}
+
+			// The next read, with a non-cancellable context, must see the
+			// frame — not the canceled Recv's leftover deadline.
+			if err := l.A.Send(context.Background(), frame(24, 0x42)); err != nil {
+				t.Fatal(err)
+			}
+			f, err := l.B.Recv(context.Background())
+			if err != nil {
+				t.Fatalf("Recv after canceled Recv: %v (poisoned read deadline)", err)
+			}
+			if f.Bits != 24 {
+				t.Fatalf("got %d bits, want 24", f.Bits)
+			}
+
+			// Same with a successful cancellable Recv racing its own cancel:
+			// run a few rounds so a late AfterFunc would be caught.
+			for i := 0; i < 20; i++ {
+				rctx, rcancel := context.WithCancel(context.Background())
+				if err := l.A.Send(context.Background(), frame(16, byte(i))); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := l.B.Recv(rctx); err != nil {
+					t.Fatalf("round %d: %v", i, err)
+				}
+				rcancel() // may race the deferred stop() inside Recv
+				if err := l.A.Send(context.Background(), frame(16, byte(i))); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := l.B.Recv(context.Background()); err != nil {
+					t.Fatalf("round %d, plain Recv after cancel: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestConnAbruptCloseNoLeak pins that an abrupt peer close — one side
+// closes while the other is parked in Recv — unblocks the survivor and
+// leaks no goroutines on the socket and WAN transports (the ones that run
+// internal goroutines per endpoint).
+func TestConnAbruptCloseNoLeak(t *testing.T) {
+	for _, d := range dialers() {
+		t.Run(d.Name(), func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			for i := 0; i < 5; i++ {
+				links, err := d.Dial(2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := context.Background()
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					// Parked receiver: must be unblocked by the peer close.
+					links[0].B.Recv(ctx)
+				}()
+				links[0].A.Send(ctx, frame(64, 1))
+				links[1].A.Send(ctx, frame(64, 2))
+				links[0].A.Close() // abrupt: peer still parked in Recv
+				select {
+				case <-done:
+				case <-time.After(5 * time.Second):
+					t.Fatal("peer close did not unblock Recv")
+				}
+				closeLinks(links)
+			}
+			waitGoroutines(t, base)
+		})
 	}
 }
 

@@ -239,6 +239,7 @@ type Cluster struct {
 	n      int
 	inputs [][]Edge
 	shared *xrand.Shared
+	seed   uint64 // cluster seed; also seeds fault schedules when a spec pins none
 
 	topOnce sync.Once
 	top     *comm.Topology
@@ -270,7 +271,7 @@ func NewCluster(n int, inputs [][]Edge, seed uint64) (*Cluster, error) {
 			}
 		}
 	}
-	return &Cluster{n: n, inputs: inputs, shared: xrand.New(seed)}, nil
+	return &Cluster{n: n, inputs: inputs, shared: xrand.New(seed), seed: seed}, nil
 }
 
 // Split divides g's edges among k players under the given scheme.
@@ -284,7 +285,7 @@ func Split(g *Graph, k int, scheme SplitScheme, seed uint64) (*Cluster, error) {
 	}
 	shared := xrand.New(seed)
 	p := pt.Split(g, k, shared)
-	return &Cluster{n: g.N(), inputs: p.Inputs, shared: shared}, nil
+	return &Cluster{n: g.N(), inputs: p.Inputs, shared: shared, seed: seed}, nil
 }
 
 // K reports the number of players.
@@ -447,6 +448,13 @@ type Options struct {
 	// catalog). Cluster.Test ignores it — the cluster already holds its
 	// instance.
 	Scenario string
+	// Faults injects deterministic link faults into the run: "" / "off" /
+	// "none" (no faults), a preset name ("lossy", "chaos"), or a JSON
+	// transport.FaultSpec. With faults enabled every link is hardened with
+	// checksummed envelopes and a bounded retransmit budget; a run either
+	// completes with a report byte-identical in verdict/witness/bits to the
+	// fault-free run, or fails with ErrSessionAborted.
+	Faults string
 }
 
 func (o Options) withDefaults() Options {
@@ -485,7 +493,20 @@ type Report struct {
 	WireBytes int64
 	// Protocol names the tester that ran.
 	Protocol string
+	// Retransmits counts frames re-sent by the resilience layer after
+	// injected loss; zero unless the run had Options.Faults enabled.
+	Retransmits int64
+	// FramesLost counts injected frame drops and corruptions; zero unless
+	// the run had Options.Faults enabled.
+	FramesLost int64
 }
+
+// ErrSessionAborted is returned by Test when injected link faults (see
+// Options.Faults) kill the session: a hard disconnect, an exhausted
+// retransmit budget, or a per-message deadline. It is the typed guarantee
+// of the resilience layer — a faulted run never hangs, leaks, or reports
+// an unsound verdict; it either completes or fails with this error.
+var ErrSessionAborted = comm.ErrSessionAborted
 
 // runner is a protocol bound to options, runnable over a reusable
 // topology.
@@ -524,6 +545,8 @@ func report(name string, res protocol.Result) Report {
 		Rounds:        res.Stats.Rounds,
 		WireBytes:     res.Stats.WireBytes,
 		Protocol:      name,
+		Retransmits:   res.Stats.Retransmits,
+		FramesLost:    res.Stats.FramesLost,
 	}
 	// The engine meter's phase counters are disjoint by construction
 	// (every bit lands in exactly the phase active when it was sent),
@@ -576,14 +599,27 @@ func (c *Cluster) transportTopology(opts Options) (*comm.Topology, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.Transport == TransportInProcess {
-		return top, nil
+	faults, err := transport.ParseFaultSpec(opts.Faults)
+	if err != nil {
+		return nil, err
+	}
+	if !faults.Enabled() {
+		if opts.Transport == TransportInProcess {
+			return top, nil
+		}
+		d, err := opts.Transport.dialer()
+		if err != nil {
+			return nil, err
+		}
+		return top.WithTransport(d), nil
 	}
 	d, err := opts.Transport.dialer()
 	if err != nil {
 		return nil, err
 	}
-	return top.WithTransport(d), nil
+	// Seed the fault schedule from the cluster seed when the spec does not
+	// pin one, so faulted runs are as reproducible as everything else.
+	return top.WithTransport(transport.Faulty{Inner: d, Spec: faults.WithSeed(c.seed)}), nil
 }
 
 // Session validates opts, binds the selected tester to the cluster, and
