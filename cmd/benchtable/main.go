@@ -46,6 +46,7 @@ import (
 
 	"tricomm"
 	"tricomm/internal/harness"
+	"tricomm/internal/obs"
 )
 
 func main() {
@@ -79,6 +80,7 @@ func run() error {
 		check    = flag.Bool("check", false, "audit every trial against ground truth (scenario mode): witnesses must be genuine triangles, misses are reported in a note")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		metrics  = flag.String("metrics", "", "write the run's metrics (Prometheus text exposition) to this file at exit; tables on stdout are unaffected")
 	)
 	flag.Parse()
 
@@ -102,6 +104,16 @@ func run() error {
 		defer func() {
 			pprof.StopCPUProfile()
 			f.Close()
+		}()
+	}
+	if *metrics != "" {
+		// Metrics are observed effects only — the tables on stdout are
+		// byte-identical with or without this flag (CI pins that).
+		obs.RegisterRuntime()
+		defer func() {
+			if err := writeMetrics(*metrics); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtable: metrics: %v\n", err)
+			}
 		}()
 	}
 	if *memProf != "" {
@@ -263,6 +275,18 @@ func run() error {
 		return enc.Encode(tables)
 	}
 	return nil
+}
+
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeCSV(path string, table *harness.Table) error {

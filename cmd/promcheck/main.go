@@ -1,0 +1,87 @@
+// Command promcheck validates a Prometheus text exposition — from a URL
+// or a file — with the in-repo checker (internal/obs.CheckExposition),
+// which enforces the structural rules a real scraper relies on: samples
+// under declared families, no duplicate series, internally consistent
+// histograms.
+//
+//	promcheck -url http://127.0.0.1:7341/metrics -min-series 25
+//	promcheck -f metrics.txt -require tricomm_engine_sessions_total,go_goroutines
+//
+// Exit status is nonzero when the exposition is malformed, has fewer
+// distinct series than -min-series, or is missing any -require family.
+// On success it prints "ok: N series, M families".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"tricomm/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url       = flag.String("url", "", "scrape this URL")
+		file      = flag.String("f", "", "read this file (\"-\": stdin)")
+		minSeries = flag.Int("min-series", 0, "fail when fewer distinct series are exposed")
+		require   = flag.String("require", "", "comma-separated family names that must be present with at least one sample")
+	)
+	flag.Parse()
+	if (*url == "") == (*file == "") {
+		return fmt.Errorf("exactly one of -url or -f is required")
+	}
+
+	var r io.Reader
+	switch {
+	case *url != "":
+		resp, err := http.Get(*url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", *url, resp.Status)
+		}
+		r = resp.Body
+	case *file == "-":
+		r = os.Stdin
+	default:
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	e, err := obs.CheckExposition(r)
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	if e.Series() < *minSeries {
+		return fmt.Errorf("only %d series exposed, want at least %d", e.Series(), *minSeries)
+	}
+	var missing []string
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name != "" && !e.Has(name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing required families: %s", strings.Join(missing, ", "))
+	}
+	fmt.Printf("ok: %d series, %d families\n", e.Series(), e.Families())
+	return nil
+}

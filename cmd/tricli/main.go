@@ -6,12 +6,16 @@
 //	tricli -server http://127.0.0.1:7341 watch -job job-3
 //	tricli -server http://127.0.0.1:7341 load -jobs 200 -c 8 -n 256
 //	tricli -server http://127.0.0.1:7341 stats
+//	tricli -server http://127.0.0.1:7341 stats -watch 2s
 //	tricli list-scenarios
 //
 // submit prints the job id (and, with -wait, streams per-trial results
 // until the verdict summary). load is the throughput generator: it
 // submits -jobs jobs from -c concurrent clients and reports jobs/sec and
-// the verdict tally. list-scenarios prints the registry-generated
+// the verdict tally. stats prints the service counters once; with
+// -watch <interval> it polls /v1/stats and /metrics and reprints a live
+// table spanning the service, engine, transport, and runtime layers
+// until interrupted. list-scenarios prints the registry-generated
 // scenario catalog — every listed family is submittable via -scenario
 // (or as {"graph": {"family": ...}} over raw HTTP).
 package main
@@ -22,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -63,7 +68,7 @@ func run(args []string) error {
 	case "load":
 		return cmdLoad(ctx, cl, rest[1:])
 	case "stats":
-		return cmdStats(ctx, cl)
+		return cmdStats(ctx, cl, rest[1:])
 	case "list-scenarios":
 		fmt.Print(tricomm.ScenarioUsage())
 		return nil
@@ -322,7 +327,78 @@ func cmdLoad(ctx context.Context, cl *service.Client, args []string) error {
 	return nil
 }
 
-func cmdStats(ctx context.Context, cl *service.Client) error {
+func cmdStats(ctx context.Context, cl *service.Client, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	watch := fs.Duration("watch", 0, "poll and reprint every interval until interrupted (0: print once)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *watch <= 0 {
+		return printStats(ctx, cl)
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+	var prevTrials, prevBits float64
+	first := true
+	for {
+		st, err := cl.ServerStats(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		// The metrics scrape enriches the table with the engine, transport,
+		// and runtime layers; a daemon without them (older build) still
+		// watches fine on the service counters alone.
+		e, _ := cl.Metrics(ctx)
+		total := func(name string) float64 {
+			if e == nil {
+				return 0
+			}
+			return e.Total(name)
+		}
+		trials := float64(st.TrialsRun)
+		bits := total("tricomm_engine_bits_total")
+		if !first {
+			fmt.Println()
+		}
+		fmt.Printf("%s  up %v  queued %d/%d  retained %d  workers %d\n",
+			time.Now().Format("15:04:05"),
+			(time.Duration(st.UptimeMS) * time.Millisecond).Round(time.Second),
+			st.Queued, st.QueueDepth, st.Retained, st.Workers)
+		fmt.Printf("  jobs       submitted %-8d done %-8d partial %-8d failed %d\n",
+			st.Submitted, st.Completed, st.Partial, st.Failed)
+		fmt.Printf("  trials     run %-8d retries %-8d aborted %d", st.TrialsRun, st.TrialRetries, st.TrialsAborted)
+		if !first {
+			fmt.Printf("   (+%.1f trials/s)", (trials-prevTrials)/watch.Seconds())
+		}
+		fmt.Println()
+		if e != nil {
+			fmt.Printf("  engine     sessions %-7.0f aborted %-8.0f bits %.0f", total("tricomm_engine_sessions_total"),
+				total("tricomm_engine_sessions_aborted_total"), bits)
+			if !first {
+				fmt.Printf("   (+%.0f bits/s)", (bits-prevBits)/watch.Seconds())
+			}
+			fmt.Println()
+			fmt.Printf("  transport  wire-bytes %-9.0f frames %-8.0f retransmits %.0f\n",
+				total("tricomm_transport_wire_bytes_total"), total("tricomm_transport_frames_total"),
+				total("tricomm_transport_retransmits_total"))
+			if g, ok := e.Value("go_goroutines"); ok {
+				heap, _ := e.Value("go_heap_alloc_bytes")
+				fmt.Printf("  runtime    goroutines %-9.0f heap %.1fMB\n", g, heap/(1<<20))
+			}
+		}
+		prevTrials, prevBits, first = trials, bits, false
+		select {
+		case <-time.After(*watch):
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+func printStats(ctx context.Context, cl *service.Client) error {
 	st, err := cl.ServerStats(ctx)
 	if err != nil {
 		return err

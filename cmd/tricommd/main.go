@@ -6,6 +6,7 @@
 //	tricommd -addr 127.0.0.1:7341 -workers 4
 //	tricommd -addr 127.0.0.1:7341 -db /var/lib/tricommd/jobs.db
 //	tricommd -faults lossy -trial-timeout 30s -trial-retries 2
+//	tricommd -log-json -pprof
 //
 // With -faults the daemon injects deterministic link faults (drops,
 // duplication, corruption, stalls, disconnects — seeded per trial, so
@@ -25,6 +26,19 @@
 // -keep count bound and, optionally, the -ttl age bound. Without -db
 // jobs live in memory only and a restart forgets everything.
 //
+// Logs are structured (log/slog): human-readable text by default,
+// one-JSON-object-per-line with -log-json. Every API request is logged
+// with a request ID, method, path, status, and duration; /healthz and
+// /metrics probes are exempt so pollers don't flood the log. -quiet
+// suppresses access logs entirely (lifecycle events remain).
+//
+// Observability: GET /metrics serves the Prometheus text exposition of
+// every layer's counters (service jobs/trials/store, engine sessions,
+// transport wire/faults, Go runtime). With -pprof the net/http/pprof
+// handlers are mounted under /debug/pprof/ for CPU, heap, and goroutine
+// profiles. Neither endpoint influences job results: metrics are
+// write-only observed effects.
+//
 // API (see internal/service):
 //
 //	POST /v1/jobs             submit a job
@@ -32,7 +46,8 @@
 //	GET  /v1/jobs/{id}        job status + per-trial results
 //	GET  /v1/jobs/{id}/stream NDJSON stream of trial results
 //	GET  /v1/stats            service counters
-//	GET  /healthz             liveness
+//	GET  /healthz             liveness + readiness
+//	GET  /metrics             Prometheus text exposition
 //
 // Submit with curl:
 //
@@ -50,14 +65,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"tricomm/internal/obs"
 	"tricomm/internal/service"
 	"tricomm/internal/transport"
 )
@@ -82,7 +101,9 @@ func run() error {
 		faults    = flag.String("faults", "", "deterministic fault injection applied to jobs that don't set their own spec: off | lossy | chaos | JSON fault spec")
 		trialTO   = flag.Duration("trial-timeout", 0, "default per-trial wall-clock budget for jobs that don't set trial_timeout_ms (0: none)")
 		retries   = flag.Int("trial-retries", 2, "re-runs of an aborted or timed-out trial, same seed, before it is recorded aborted (-1: none)")
-		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
+		logJSON   = flag.Bool("log-json", false, "emit logs as one JSON object per line")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		quiet     = flag.Bool("quiet", false, "suppress per-request access logging")
 	)
 	flag.Parse()
 
@@ -90,7 +111,9 @@ func run() error {
 		return fmt.Errorf("-faults: %w", err)
 	}
 
-	logger := log.New(os.Stderr, "tricommd: ", log.LstdFlags)
+	logger := newLogger(*logJSON)
+	obs.RegisterRuntime()
+
 	var store service.Store = service.NewMemStore()
 	if *db != "" {
 		fs, err := service.OpenFileStore(*db)
@@ -110,13 +133,24 @@ func run() error {
 		TrialTimeout:  *trialTO,
 		TrialRetries:  *retries,
 		DefaultFaults: *faults,
+		Logger:        logger,
 		Store:         store,
 	})
 	if st := svc.Stats(); st.Resumed > 0 {
-		logger.Printf("resumed %d unfinished job(s) from %s", st.Resumed, *db)
+		logger.Info("resumed unfinished jobs", "count", st.Resumed, "db", *db)
 	}
 
-	handler := svc.Handler()
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	var handler http.Handler = mux
 	if !*quiet {
 		handler = logRequests(logger, handler)
 	}
@@ -127,7 +161,7 @@ func run() error {
 		svc.Close() // drain workers before the deferred store.Close
 		return err
 	}
-	logger.Printf("listening on http://%s (%d workers, queue %d)", ln.Addr(), *workers, *queue)
+	logger.Info("listening", "url", "http://"+ln.Addr().String(), "workers", *workers, "queue", *queue)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -141,22 +175,69 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down")
+	logger.Info("shutting down")
 	shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("shutdown: %v", err)
+		logger.Error("shutdown", "error", err.Error())
 	}
 	svc.Close()
 	<-serveErr // Serve has returned ErrServerClosed by now
 	return nil
 }
 
-// logRequests is a minimal request logger.
-func logRequests(logger *log.Logger, next http.Handler) http.Handler {
+// newLogger builds the process logger: slog text to stderr, or JSON lines
+// with -log-json.
+func newLogger(jsonLines bool) *slog.Logger {
+	if jsonLines {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+// reqSeq numbers requests for the access log; an ID ties a request's log
+// lines together and shows up nowhere else (no header round-trip needed
+// for a single-process daemon).
+var reqSeq atomic.Int64
+
+// logRequests is the access-log middleware: one structured line per
+// request with ID, method, path, status, and duration. Probe endpoints
+// (/healthz, /metrics) are exempt — scrapers and load balancers hit them
+// every few seconds and would drown the signal.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		id := "req-" + strconv.FormatInt(reqSeq.Add(1), 10)
 		start := time.Now()
-		next.ServeHTTP(w, r)
-		logger.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		logger.Info("request",
+			"req", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur", time.Since(start).Round(time.Microsecond))
 	})
+}
+
+// statusWriter captures the response status for the access log while
+// passing the Flusher capability through — the NDJSON stream endpoint
+// needs Flush to deliver trial lines as they land.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Board is the blackboard model: every posted message is visible to all
@@ -110,7 +111,9 @@ func RunOneWayOn(
 	alice func(p *SimPlayer) (Msg, error),
 	bob func(p *SimPlayer, aliceMsg Msg) (Msg, error),
 	charlie func(p *SimPlayer, aliceMsg, bobMsg Msg) error,
-) (OneWayResult, error) {
+) (res OneWayResult, err error) {
+	start := time.Now()
+	defer func() { observeSession("oneway", start, res.Stats, nil, nil, err) }()
 	if top.K() != 3 {
 		return OneWayResult{}, errors.New("comm: one-way model requires exactly 3 players")
 	}

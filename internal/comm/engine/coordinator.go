@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"tricomm/internal/graph"
 	"tricomm/internal/transport"
@@ -357,6 +358,7 @@ func Run(ctx context.Context, cfg Config, coord CoordinatorFunc, player PlayerFu
 // successful runs the wire-byte counters are cross-checked against the bit
 // meter (CheckWire).
 func RunOn(ctx context.Context, top *Topology, coord CoordinatorFunc, player PlayerFunc, opts ...RunOption) (Stats, error) {
+	start := time.Now()
 	var o runOpts
 	for _, opt := range opts {
 		opt(&o)
@@ -442,20 +444,20 @@ func RunOn(ctx context.Context, top *Topology, coord CoordinatorFunc, player Pla
 
 	// Player errors take precedence: a coordinator error of "player
 	// terminated" is a symptom, the player's own failure is the cause.
+	var finalErr error
 	for err := range errs {
-		if err != nil {
-			return stats, err
+		if err != nil && finalErr == nil {
+			finalErr = err
 		}
 	}
-	if coordErr != nil {
-		return stats, fmt.Errorf("coordinator: %w", coordErr)
+	if finalErr == nil && coordErr != nil {
+		finalErr = fmt.Errorf("coordinator: %w", coordErr)
 	}
-	if !lossy {
-		if err := CheckWire(stats); err != nil {
-			return stats, err
-		}
+	if finalErr == nil && !lossy {
+		finalErr = CheckWire(stats)
 	}
-	return stats, nil
+	observeSession("coordinator", start, stats, meter.takePhaseTimings(), c.links, finalErr)
+	return stats, finalErr
 }
 
 // CheckWire cross-checks a session's wire-byte counters against its bit

@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Meter accumulates the communication cost of a protocol run on per-player
@@ -17,14 +18,16 @@ type Meter struct {
 	messages atomic.Int64
 	rounds   atomic.Int64
 
-	phaseMu sync.Mutex
-	phases  []*phaseCounter
-	cur     atomic.Pointer[phaseCounter]
+	phaseMu    sync.Mutex
+	phases     []*phaseCounter
+	phaseStart time.Time // guarded by phaseMu; when the active phase began
+	cur        atomic.Pointer[phaseCounter]
 }
 
 type phaseCounter struct {
-	name string
-	bits atomic.Int64
+	name  string
+	bits  atomic.Int64
+	nanos int64 // guarded by Meter.phaseMu; wall clock spent in the phase
 }
 
 // NewMeter returns a meter for k players.
@@ -67,8 +70,10 @@ func (m *Meter) AddRound() { m.rounds.Add(1) }
 // the next BeginPhase. Re-entering a name resumes its counter. Call it
 // from the scheduling goroutine at quiescent points (between rounds).
 func (m *Meter) BeginPhase(name string) {
+	now := time.Now()
 	m.phaseMu.Lock()
 	defer m.phaseMu.Unlock()
+	m.closePhaseLocked(now)
 	for _, p := range m.phases {
 		if p.name == name {
 			m.cur.Store(p)
@@ -78,6 +83,41 @@ func (m *Meter) BeginPhase(name string) {
 	p := &phaseCounter{name: name}
 	m.phases = append(m.phases, p)
 	m.cur.Store(p)
+}
+
+// closePhaseLocked attributes the wall clock since phaseStart to the
+// active phase and restarts the clock. Callers hold phaseMu.
+func (m *Meter) closePhaseLocked(now time.Time) {
+	if p := m.cur.Load(); p != nil {
+		p.nanos += now.Sub(m.phaseStart).Nanoseconds()
+	}
+	m.phaseStart = now
+}
+
+// phaseTiming is one phase's accumulated wall-clock time. Timing lives
+// beside — never inside — Stats: Stats is a deterministic artifact of the
+// protocol (tests compare snapshots across schedules and transports), and
+// wall clock is not. The metrics layer is its only consumer.
+type phaseTiming struct {
+	name    string
+	seconds float64
+}
+
+// takePhaseTimings closes out the active phase and returns every declared
+// phase's wall-clock total, in declaration order. Called once at session
+// end from the scheduling goroutine.
+func (m *Meter) takePhaseTimings() []phaseTiming {
+	m.phaseMu.Lock()
+	defer m.phaseMu.Unlock()
+	m.closePhaseLocked(time.Now())
+	if len(m.phases) == 0 {
+		return nil
+	}
+	out := make([]phaseTiming, len(m.phases))
+	for i, p := range m.phases {
+		out[i] = phaseTiming{name: p.name, seconds: float64(p.nanos) / 1e9}
+	}
+	return out
 }
 
 // Stats is a snapshot of a protocol run's communication cost.

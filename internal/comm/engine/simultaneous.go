@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"tricomm/internal/graph"
 	"tricomm/internal/xrand"
@@ -65,7 +66,9 @@ func RunSimultaneous(ctx context.Context, cfg Config, player SimPlayerFunc, refe
 // RunSimultaneousOn executes one protocol in the simultaneous model over
 // top: every player computes its message concurrently, the messages are
 // metered, and the referee is invoked on the ordered message vector.
-func RunSimultaneousOn(ctx context.Context, top *Topology, player SimPlayerFunc, referee RefereeFunc) (Stats, error) {
+func RunSimultaneousOn(ctx context.Context, top *Topology, player SimPlayerFunc, referee RefereeFunc) (s Stats, err error) {
+	start := time.Now()
+	defer func() { observeSession("simultaneous", start, s, nil, nil, err) }()
 	k := top.K()
 	meter := NewMeter(k)
 	msgs := make([]Msg, k)

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The hot-path benchmarks below all ReportAllocs; the CI bench smoke runs
+// them with -benchmem and TestZeroAllocIncrements pins 0 allocs/op
+// outright. These are the operations that ride inside protocol sessions
+// and trial loops, so their cost budget is "one or two atomic ops".
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().NewCounter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterVecWithInc(b *testing.B) {
+	vec := NewRegistry().NewCounterVec("bench_total", "", "who")
+	vec.With("hot")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.With("hot").Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().NewHistogram("bench_seconds", "", DurationBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().NewGauge("bench_depth", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	vec := r.NewCounterVec("bench_total", "", "who")
+	for _, l := range []string{"a", "b", "c", "d", "e"} {
+		vec.With(l).Add(12345)
+	}
+	h := r.NewHistogram("bench_seconds", "", DurationBuckets())
+	h.Observe(0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, children sorted by
+// label value, histograms as cumulative le-labeled buckets plus _sum and
+// _count. Rendering takes no locks on the increment path — it reads the
+// same atomics the writers update — so a scrape never stalls a session.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *Family) write(w *bufio.Writer) error {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(string(f.kind))
+	w.WriteByte('\n')
+
+	if f.readFn != nil {
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(formatValue(f.readFn()))
+		w.WriteByte('\n')
+		return nil
+	}
+
+	children := *f.children.Load()
+	labels := make([]string, 0, len(children))
+	for l := range children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		m := children[l]
+		if f.kind == KindHistogram {
+			f.writeHistogram(w, m)
+			continue
+		}
+		w.WriteString(f.name)
+		if f.label != "" {
+			w.WriteByte('{')
+			w.WriteString(f.label)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(m.label))
+			w.WriteString(`"}`)
+		}
+		w.WriteByte(' ')
+		w.WriteString(formatValue(m.val.Load()))
+		w.WriteByte('\n')
+	}
+	return nil
+}
+
+// writeHistogram renders one child's cumulative buckets. The per-bucket
+// counts are read once into locals and summed, so the rendered _count
+// always equals the +Inf bucket even while observations land concurrently
+// (_sum may lag by in-flight observations, which the format permits).
+func (f *Family) writeHistogram(w *bufio.Writer, m *metric) {
+	var cum int64
+	for i := range m.hcounts {
+		cum += m.hcounts[i].Load()
+		w.WriteString(f.name)
+		w.WriteString(`_bucket{le="`)
+		if i < len(f.buckets) {
+			w.WriteString(formatValue(f.buckets[i]))
+		} else {
+			w.WriteString("+Inf")
+		}
+		w.WriteString(`"} `)
+		w.WriteString(strconv.FormatInt(cum, 10))
+		w.WriteByte('\n')
+	}
+	w.WriteString(f.name)
+	w.WriteString("_sum ")
+	w.WriteString(formatValue(m.val.Load()))
+	w.WriteByte('\n')
+	w.WriteString(f.name)
+	w.WriteString("_count ")
+	w.WriteString(strconv.FormatInt(cum, 10))
+	w.WriteByte('\n')
+}
+
+// formatValue renders a sample value: integers without an exponent (the
+// common case — counts, bits, bytes), everything else in the shortest
+// float form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v >= -1e15 && v <= 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ContentType is the exposition media type served by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Handler serves the Default registry.
+func Handler() http.Handler { return Default.Handler() }
+
+// WritePrometheus renders the Default registry.
+func WritePrometheus(w io.Writer) error { return Default.WritePrometheus(w) }

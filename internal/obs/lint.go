@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition linting. CheckExposition is the in-repo validator behind
+// cmd/promcheck and the CI metrics smoke: it parses the Prometheus text
+// format with no dependencies and enforces the structural rules a real
+// scraper relies on — every sample belongs to a declared family, no
+// duplicate series, and histograms are internally consistent (cumulative
+// monotone buckets, a +Inf bucket equal to _count, a _sum present). It is
+// deliberately a separate implementation from the renderer in expose.go,
+// so a bug in one is caught by the other.
+
+// Sample is one parsed series sample.
+type Sample struct {
+	// Name is the sample's metric name (for histograms, the _bucket/_sum/
+	// _count form).
+	Name string
+	// Labels is the rendered label set, e.g. `phase="degree"` (empty when
+	// the series carries no labels).
+	Labels string
+	// Value is the sample value.
+	Value float64
+}
+
+// Exposition is the parsed and validated form of one scrape.
+type Exposition struct {
+	// Types maps each declared family name to its declared type.
+	Types map[string]string
+	// Samples holds every series in input order.
+	Samples []Sample
+
+	byID map[string]float64 // "name{labels}" → value
+}
+
+// Series reports the number of distinct series.
+func (e *Exposition) Series() int { return len(e.Samples) }
+
+// Families reports the number of declared families.
+func (e *Exposition) Families() int { return len(e.Types) }
+
+// Value returns a series value by its full identity: a bare name, or
+// name{label="value"} exactly as exposed.
+func (e *Exposition) Value(id string) (float64, bool) {
+	v, ok := e.byID[id]
+	return v, ok
+}
+
+// Total sums every series of a family: the label-summed counter total, or
+// for convenience the bare value of an unlabeled family. Histogram
+// families sum their _count series.
+func (e *Exposition) Total(name string) float64 {
+	var t float64
+	target := name
+	if e.Types[name] == "histogram" {
+		target = name + "_count"
+	}
+	for _, s := range e.Samples {
+		if s.Name == target {
+			t += s.Value
+		}
+	}
+	return t
+}
+
+// Has reports whether the family is declared and has at least one sample.
+func (e *Exposition) Has(name string) bool {
+	if _, ok := e.Types[name]; !ok {
+		return false
+	}
+	prefix := name
+	for _, s := range e.Samples {
+		if s.Name == prefix || strings.HasPrefix(s.Name, prefix+"_") {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckExposition parses r as Prometheus text exposition format and
+// validates it, returning the parsed form or the first violation.
+func CheckExposition(r io.Reader) (*Exposition, error) {
+	e := &Exposition{Types: make(map[string]string), byID: make(map[string]float64)}
+	type histState struct {
+		buckets map[float64]float64 // le → cumulative count
+		sum     *float64
+		count   *float64
+	}
+	hists := make(map[string]*histState)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := e.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam, suffix := e.familyOf(s.Name)
+		if fam == "" {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, s.Name)
+		}
+		id := s.Name
+		if s.Labels != "" {
+			id += "{" + s.Labels + "}"
+		}
+		if _, dup := e.byID[id]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, id)
+		}
+		e.byID[id] = s.Value
+		e.Samples = append(e.Samples, s)
+
+		if e.Types[fam] == "histogram" {
+			h := hists[fam]
+			if h == nil {
+				h = &histState{buckets: make(map[float64]float64)}
+				hists[fam] = h
+			}
+			switch suffix {
+			case "_bucket":
+				le, err := leOf(s.Labels)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %s: %w", lineNo, s.Name, err)
+				}
+				h.buckets[le] = s.Value
+			case "_sum":
+				v := s.Value
+				h.sum = &v
+			case "_count":
+				v := s.Value
+				h.count = &v
+			default:
+				return nil, fmt.Errorf("line %d: histogram %s has non-histogram sample %s", lineNo, fam, s.Name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for fam, h := range hists {
+		if err := checkHistogram(fam, h.buckets, h.sum, h.count); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// familyOf resolves a sample name to its declared family: exact for
+// scalars, the _bucket/_sum/_count-stripped base for histograms.
+func (e *Exposition) familyOf(name string) (fam, suffix string) {
+	if _, ok := e.Types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && e.Types[base] == "histogram" {
+			return base, suf
+		}
+	}
+	return "", ""
+}
+
+func (e *Exposition) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validName(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown type %q for %s", typ, name)
+		}
+		if prev, ok := e.Types[name]; ok && prev != typ {
+			return fmt.Errorf("conflicting TYPE for %s: %s then %s", name, prev, typ)
+		}
+		e.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name[{labels}] value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name := line[:i]
+	if !validName(name) {
+		return Sample{}, fmt.Errorf("invalid sample name %q", name)
+	}
+	rest := line[i:]
+	var labels string
+	if strings.HasPrefix(rest, "{") {
+		end, err := labelEnd(rest)
+		if err != nil {
+			return Sample{}, fmt.Errorf("sample %s: %w", name, err)
+		}
+		labels = rest[1:end]
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return Sample{}, fmt.Errorf("sample %s: want `value [timestamp]`, got %q", name, rest)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return Sample{}, fmt.Errorf("sample %s: bad value %q", name, fields[0])
+	}
+	return Sample{Name: name, Labels: labels, Value: v}, nil
+}
+
+// labelEnd returns the index of the closing brace of a label block that
+// starts at s[0] == '{', honoring quoted values with escapes.
+func labelEnd(s string) (int, error) {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip the escaped byte
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("unterminated label block")
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// leOf extracts the le label value from a bucket's label block.
+func leOf(labels string) (float64, error) {
+	for _, part := range splitLabels(labels) {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k != "le" {
+			continue
+		}
+		return parseFloat(strings.Trim(v, `"`))
+	}
+	return 0, fmt.Errorf("bucket sample without le label (%q)", labels)
+}
+
+// splitLabels splits a label block body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == ',':
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// checkHistogram enforces the histogram contract: at least the +Inf
+// bucket, cumulative counts non-decreasing in le order, _count equal to
+// the +Inf bucket, and a _sum series present.
+func checkHistogram(fam string, buckets map[float64]float64, sum, count *float64) error {
+	if len(buckets) == 0 {
+		return fmt.Errorf("histogram %s has no buckets", fam)
+	}
+	les := make([]float64, 0, len(buckets))
+	for le := range buckets {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	for i := 1; i < len(les); i++ {
+		if buckets[les[i]] < buckets[les[i-1]] {
+			return fmt.Errorf("histogram %s buckets not cumulative: le=%v count %v < le=%v count %v",
+				fam, les[i], buckets[les[i]], les[i-1], buckets[les[i-1]])
+		}
+	}
+	infCount, ok := buckets[math.Inf(1)]
+	if !ok {
+		return fmt.Errorf("histogram %s missing +Inf bucket", fam)
+	}
+	if count == nil {
+		return fmt.Errorf("histogram %s missing _count", fam)
+	}
+	if *count != infCount {
+		return fmt.Errorf("histogram %s _count %v != +Inf bucket %v", fam, *count, infCount)
+	}
+	if sum == nil {
+		return fmt.Errorf("histogram %s missing _sum", fam)
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation itself allocates, so allocs/op is not meaningful there.
+const raceEnabled = true

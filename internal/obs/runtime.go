@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+var (
+	runtimeOnce sync.Once
+	procStart   = time.Now()
+)
+
+// RegisterRuntime adds the Go runtime and process families to the Default
+// registry: goroutine count, heap and total memory, GC cycles, and process
+// uptime. All are read at scrape time (a scrape is rare; a ReadMemStats
+// there is harmless), so nothing ticks in the background. Idempotent —
+// every binary that serves or dumps metrics calls it unconditionally.
+func RegisterRuntime() {
+	runtimeOnce.Do(func() {
+		NewGaugeFunc("go_goroutines",
+			"Number of goroutines that currently exist.",
+			func() float64 { return float64(runtime.NumGoroutine()) })
+		NewGaugeFunc("go_heap_alloc_bytes",
+			"Bytes of allocated heap objects.",
+			func() float64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return float64(ms.HeapAlloc)
+			})
+		NewGaugeFunc("go_sys_bytes",
+			"Bytes of memory obtained from the OS.",
+			func() float64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return float64(ms.Sys)
+			})
+		NewCounterFunc("go_gc_cycles_total",
+			"Completed GC cycles since process start.",
+			func() float64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return float64(ms.NumGC)
+			})
+		NewCounterFunc("process_uptime_seconds",
+			"Seconds since process start.",
+			func() float64 { return time.Since(procStart).Seconds() })
+	})
+}

@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"tricomm/internal/obs"
 )
 
 // RetryPolicy shapes the client's transient-failure handling: attempts
@@ -244,6 +246,41 @@ func (c *Client) ServerStats(ctx context.Context) (Stats, error) {
 // Health checks liveness.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, c.url("/healthz"), nil, nil)
+}
+
+// HealthInfo fetches the full liveness/readiness payload. Unlike Health
+// it decodes the body, so callers see the store backend, resume count,
+// and queue snapshot; a draining server (503) still yields its payload
+// alongside the error.
+func (c *Client) HealthInfo(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, c.url("/healthz"), nil, &h)
+	return h, err
+}
+
+// Metrics scrapes and parses the server's /metrics exposition. The
+// returned form indexes every series by its full identity (see
+// obs.Exposition); parse failures surface as errors, so this doubles as
+// an end-to-end format check.
+func (c *Client) Metrics(ctx context.Context) (*obs.Exposition, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/metrics"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, statusError(resp, body)
+	}
+	e, err := obs.CheckExposition(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("service: invalid /metrics exposition: %w", err)
+	}
+	return e, nil
 }
 
 // Stream follows a job's NDJSON stream, invoking fn for every trial

@@ -5,8 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"runtime"
 	"strconv"
+
+	"tricomm/internal/obs"
 )
 
 // Handler returns the service's HTTP API:
@@ -25,7 +26,13 @@ import (
 //	                          the registry: submitting {"graph": {"family":
 //	                          <name>, ...}} works for every entry)
 //	GET  /v1/stats            service counters
-//	GET  /healthz             liveness (also reports the goroutine count)
+//	GET  /healthz             liveness + readiness (store backend, resume
+//	                          count, queue/retention snapshot); 503 while
+//	                          the server is draining
+//	GET  /metrics             Prometheus text exposition of the process-
+//	                          global metrics registry (service, engine,
+//	                          transport, and — when the daemon registered
+//	                          them — runtime series)
 //
 // Error statuses: 400 for malformed payloads and specs failing
 // validation (ErrInvalid), 404 for unknown job ids, 413 for bodies
@@ -42,6 +49,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", obs.Handler())
 	return mux
 }
 
@@ -216,8 +224,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":         true,
-		"goroutines": runtime.NumGoroutine(),
-	})
+	h := s.Health()
+	code := http.StatusOK
+	if !h.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }

@@ -1,0 +1,56 @@
+package service
+
+import "tricomm/internal/obs"
+
+// Service-layer metrics. These mirror (and extend) the Stats counters:
+// the JSON endpoint keeps its per-server snapshot semantics, while the
+// metrics below are process-global and cumulative, which is what a
+// scraper wants. All writes happen on job/trial/store event boundaries —
+// never inside a protocol session — so instrumentation cannot perturb any
+// deterministic output. Label vocabularies are closed: job states and
+// store ops are code-defined enums, so cardinality is fixed.
+//
+// The two gauges are process-global too: when several Servers share one
+// process (tests), each mutation overwrites the last, so they reflect the
+// most recently active server. The daemon runs exactly one.
+var (
+	mJobsSubmitted = obs.NewCounter("tricomm_service_jobs_submitted_total",
+		"Jobs admitted past validation and backpressure.")
+	mJobsFinished = obs.NewCounterVec("tricomm_service_jobs_finished_total",
+		"Jobs that reached a terminal state, by state.", "state")
+	mTransitions = obs.NewCounterVec("tricomm_service_job_transitions_total",
+		"Job state transitions, by entered state.", "state")
+	mRejected = obs.NewCounter("tricomm_service_admission_rejected_total",
+		"Submissions rejected by backpressure or drain (ErrBusy/ErrClosed).")
+	mQueueDepth = obs.NewGauge("tricomm_service_queue_depth",
+		"Jobs currently queued (resume backlog included).")
+	mRetained = obs.NewGauge("tricomm_service_jobs_retained",
+		"Jobs currently held in the working set.")
+	mTrialsRun = obs.NewCounter("tricomm_service_trials_run_total",
+		"Trials actually executed (resumed trials kept verbatim don't count).")
+	mTrialRetries = obs.NewCounter("tricomm_service_trial_retries_total",
+		"Trial re-runs after session aborts or timeouts.")
+	mTrialsAborted = obs.NewCounter("tricomm_service_trials_aborted_total",
+		"Trials recorded aborted after exhausting the retry budget.")
+	mTrialSeconds = obs.NewHistogram("tricomm_service_trial_seconds",
+		"Wall-clock duration of one trial, retries included.", obs.DurationBuckets())
+	mGCEvicted = obs.NewCounter("tricomm_service_gc_evicted_jobs_total",
+		"Finished jobs collected by the KeepJobs/TTL policy.")
+	mStoreErrors = obs.NewCounter("tricomm_service_store_errors_total",
+		"Persistence-backend write failures (tolerated; in-memory view stays authoritative).")
+	mStoreAppends = obs.NewCounterVec("tricomm_service_store_appends_total",
+		"FileStore log appends, by entry op.", "op")
+	mStoreFsyncs = obs.NewCounter("tricomm_service_store_fsyncs_total",
+		"FileStore fsyncs (envelope writes and tombstones).")
+	mStoreCompactions = obs.NewCounter("tricomm_service_store_compactions_total",
+		"FileStore log compactions (one per successful open).")
+)
+
+// observeTransition records a job entering a state, and its terminal
+// landing when the state is final.
+func observeTransition(state JobState) {
+	mTransitions.With(string(state)).Inc()
+	if state.Finished() {
+		mJobsFinished.With(string(state)).Inc()
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +54,11 @@ type Config struct {
 	// "" (none), a preset, or JSON (see transport.ParseFaultSpec). Used
 	// by the daemon's -faults flag to harden every session it runs.
 	DefaultFaults string
+	// Logger receives structured job-lifecycle events (submission, state
+	// transitions, trial aborts), each tagged with the job ID. Nil
+	// discards them, preserving the historical silence of embedded
+	// servers; the daemon passes its process logger.
+	Logger *slog.Logger
 	// Store is the durability backend (default NewMemStore, which
 	// preserves the historical forget-on-restart behavior). At startup
 	// the server rebuilds its working set from the store: finished
@@ -83,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Store == nil {
 		c.Store = NewMemStore()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -262,6 +272,8 @@ func New(cfg Config) *Server {
 	for _, j := range pending {
 		s.queue <- j
 	}
+	mQueueDepth.Set(float64(len(s.queue)))
+	mRetained.Set(float64(len(s.jobs)))
 
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -342,6 +354,7 @@ func (s *Server) Submit(spec JobSpec) (JobInfo, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		mRejected.Inc()
 		return JobInfo{}, ErrClosed
 	}
 	// Backpressure check under the lock: all senders hold s.mu and
@@ -350,6 +363,7 @@ func (s *Server) Submit(spec JobSpec) (JobInfo, error) {
 	// (resume backlog); admission is still bounded by QueueDepth.
 	if len(s.queue) >= s.cfg.QueueDepth || len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
+		mRejected.Inc()
 		return JobInfo{}, ErrBusy
 	}
 	seq := s.nextID.Add(1)
@@ -365,9 +379,15 @@ func (s *Server) Submit(spec JobSpec) (JobInfo, error) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.gcLocked(time.Now())
+	queued, retained := len(s.queue), len(s.jobs)
 	s.mu.Unlock()
 
 	s.submitted.Add(1)
+	mJobsSubmitted.Inc()
+	observeTransition(StateQueued)
+	mQueueDepth.Set(float64(queued))
+	mRetained.Set(float64(retained))
+	s.cfg.Logger.Info("job submitted", "job", j.id, "trials", spec.Trials, "queued", queued)
 	return j.info(false), nil
 }
 
@@ -394,14 +414,17 @@ func (s *Server) gcLocked(now time.Time) {
 		if finished && (over > 0 || expired) {
 			over-- // any collection shrinks the retained set
 			delete(s.jobs, id)
+			mGCEvicted.Inc()
 			if err := s.store.DeleteJob(id); err != nil {
 				s.storeErrs.Add(1)
+				mStoreErrors.Inc()
 			}
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+	mRetained.Set(float64(len(s.jobs)))
 }
 
 // GC runs one collection pass immediately (the janitor does this
@@ -484,6 +507,7 @@ func (s *Server) worker() {
 func (s *Server) persistJob(j *job) {
 	if err := s.store.PutJob(j.record()); err != nil {
 		s.storeErrs.Add(1)
+		mStoreErrors.Inc()
 	}
 }
 
@@ -493,6 +517,9 @@ func (s *Server) run(j *job) {
 		j.state = StateRunning
 		j.started = time.Now()
 	})
+	observeTransition(StateRunning)
+	mQueueDepth.Set(float64(len(s.queue)))
+	s.cfg.Logger.Info("job running", "job", j.id)
 	s.persistJob(j)
 	if err := s.runTrials(j); err != nil {
 		if s.ctx.Err() != nil {
@@ -500,6 +527,8 @@ func (s *Server) run(j *job) {
 			// the queued state so a durable store resumes it — replaying
 			// only the missing trials — on the next start.
 			j.update(func() { j.state = StateQueued })
+			observeTransition(StateQueued)
+			s.cfg.Logger.Info("job parked for resume", "job", j.id)
 			s.persistJob(j)
 			return
 		}
@@ -509,6 +538,8 @@ func (s *Server) run(j *job) {
 			j.err = err.Error()
 			j.finished = time.Now()
 		})
+		observeTransition(StateFailed)
+		s.cfg.Logger.Error("job failed", "job", j.id, "error", err.Error())
 		s.persistJob(j)
 		return
 	}
@@ -559,6 +590,11 @@ func (s *Server) run(j *job) {
 	default:
 		s.failed.Add(1)
 	}
+	observeTransition(final)
+	j.mu.Lock()
+	elapsed := j.finished.Sub(j.started)
+	j.mu.Unlock()
+	s.cfg.Logger.Info("job finished", "job", j.id, "state", string(final), "elapsed", elapsed)
 	s.persistJob(j)
 }
 
@@ -591,6 +627,8 @@ func (s *Server) runTrials(j *job) error {
 				return struct{}{}, nil // resumed: this outcome survived the restart
 			}
 			s.trialsRun.Add(1)
+			mTrialsRun.Inc()
+			trialStart := time.Now()
 			seed := runner.TrialSeed(spec.Seed, trial)
 			g := uploaded
 			var players [][]tricomm.Edge
@@ -660,6 +698,7 @@ func (s *Server) runTrials(j *job) error {
 				}
 				retries++
 				s.trialRetries.Add(1)
+				mTrialRetries.Inc()
 			}
 			if runErr != nil && ctx.Err() != nil {
 				// Shutdown or job cancellation, not a trial outcome.
@@ -671,6 +710,7 @@ func (s *Server) runTrials(j *job) error {
 				out.Aborted = true
 				out.Error = runErr.Error()
 				s.trialsAborted.Add(1)
+				mTrialsAborted.Inc()
 			} else {
 				out.TriangleFree = rep.TriangleFree
 				out.Bits = rep.Bits
@@ -692,8 +732,10 @@ func (s *Server) runTrials(j *job) error {
 				j.filled[trial] = true
 				j.done++
 			})
+			mTrialSeconds.Observe(time.Since(trialStart).Seconds())
 			if err := s.store.PutTrial(j.id, out); err != nil {
 				s.storeErrs.Add(1)
+				mStoreErrors.Inc()
 			}
 			return struct{}{}, nil
 		})
@@ -743,6 +785,51 @@ type Stats struct {
 	TrialsAborted int64 `json:"trials_aborted,omitempty"`
 	// StoreErrors counts persistence-backend write failures.
 	StoreErrors int64 `json:"store_errors,omitempty"`
+}
+
+// Health is the /healthz payload: liveness plus readiness context. Ready
+// is false while the server is draining (Close underway or finished),
+// which /healthz maps to 503 so probes take a draining daemon out of
+// rotation before its listener goes away.
+type Health struct {
+	// OK is liveness: the process is serving requests.
+	OK bool `json:"ok"`
+	// Ready is readiness: the server is accepting submissions.
+	Ready bool `json:"ready"`
+	// UptimeMS is the server age in milliseconds.
+	UptimeMS int64 `json:"uptime_ms"`
+	// Goroutines is the process goroutine count.
+	Goroutines int `json:"goroutines"`
+	// Store names the durability backend ("mem", "file"); DBPath is its
+	// on-disk location when the backend is disk-backed.
+	Store  string `json:"store,omitempty"`
+	DBPath string `json:"db_path,omitempty"`
+	// Resumed counts jobs re-enqueued from the store at startup; Queued
+	// and Retained mirror Stats for probes that only hit /healthz.
+	Resumed  int64 `json:"resumed,omitempty"`
+	Queued   int   `json:"queued"`
+	Retained int   `json:"retained"`
+}
+
+// Health snapshots liveness and readiness for the /healthz endpoint.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	closed := s.closed
+	retained := len(s.jobs)
+	s.mu.Unlock()
+	h := Health{
+		OK:         true,
+		Ready:      !closed,
+		UptimeMS:   time.Since(s.start).Milliseconds(),
+		Goroutines: runtime.NumGoroutine(),
+		Resumed:    s.resumed,
+		Queued:     len(s.queue),
+		Retained:   retained,
+	}
+	if d, ok := s.store.(Describer); ok {
+		h.Store, h.DBPath = d.Describe()
+	}
+	return h
 }
 
 // Stats snapshots the service counters.

@@ -69,3 +69,10 @@ type Store interface {
 	// Close releases the backend. The server never calls it.
 	Close() error
 }
+
+// Describer is optionally implemented by stores that can identify their
+// backend for health reporting: a short backend name ("mem", "file") and,
+// when disk-backed, the database path.
+type Describer interface {
+	Describe() (backend, path string)
+}

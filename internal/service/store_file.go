@@ -55,6 +55,7 @@ func OpenFileStore(path string) (*FileStore, error) {
 	if err := compactLog(path, mem); err != nil {
 		return nil, fmt.Errorf("service: compact %s: %w", path, err)
 	}
+	mStoreCompactions.Inc()
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -160,7 +161,9 @@ func (s *FileStore) append(e logEntry, sync bool) error {
 	if _, err := s.f.Write(append(b, '\n')); err != nil {
 		return err
 	}
+	mStoreAppends.With(e.Op).Inc()
 	if sync {
+		mStoreFsyncs.Inc()
 		return s.f.Sync()
 	}
 	return nil
@@ -195,6 +198,9 @@ func (s *FileStore) PutTrial(id string, out TrialOutcome) error {
 	r.trials[out.Trial] = out
 	return s.append(logEntry{Op: "trial", ID: id, Trial: &out}, false)
 }
+
+// Describe identifies the backend for health reporting (Describer).
+func (s *FileStore) Describe() (backend, path string) { return "file", s.path }
 
 // GetJob serves from the replayed in-RAM state.
 func (s *FileStore) GetJob(id string) (JobRecord, []TrialOutcome, bool) {

@@ -83,3 +83,6 @@ func (m *MemStore) DeleteJob(id string) error {
 
 // Close is a no-op.
 func (m *MemStore) Close() error { return nil }
+
+// Describe identifies the backend for health reporting (Describer).
+func (m *MemStore) Describe() (backend, path string) { return "mem", "" }

@@ -298,7 +298,10 @@ func (c *faultyConn) Send(ctx context.Context, f Frame) error {
 	}
 	disc, drop, corr, bit, dup, stall := c.draw()
 	if disc < c.spec.Disconnect {
-		c.deadOnce.Do(func() { close(c.dead) })
+		c.deadOnce.Do(func() {
+			close(c.dead)
+			countFault("disconnect")
+		})
 		return ErrAborted
 	}
 	if drop < c.spec.Drop {
@@ -306,6 +309,7 @@ func (c *faultyConn) Send(ctx context.Context, f Frame) error {
 		c.out.bytes.Add(int64(FrameSize(f.Bits)))
 		c.out.frames.Add(1)
 		c.out.lost.Add(1)
+		countFault("drop")
 		return ErrFrameLost
 	}
 	if corr < c.spec.Corrupt && len(f.Data) > 0 {
@@ -318,9 +322,11 @@ func (c *faultyConn) Send(ctx context.Context, f Frame) error {
 			return err
 		}
 		c.out.lost.Add(1)
+		countFault("corrupt")
 		return ErrFrameLost
 	}
 	if stall < c.spec.Stall {
+		countFault("stall")
 		t := time.NewTimer(c.spec.stall())
 		select {
 		case <-t.C:
@@ -339,6 +345,7 @@ func (c *faultyConn) Send(ctx context.Context, f Frame) error {
 		if err := c.send(ctx, f); err != nil {
 			return err
 		}
+		countFault("duplicate")
 	}
 	return nil
 }

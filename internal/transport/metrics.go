@@ -1,0 +1,38 @@
+package transport
+
+import "tricomm/internal/obs"
+
+// Transport-layer metrics. Everything here is an observed effect, never an
+// input: wire totals are folded in once per finished session (the engine
+// calls ObserveWire after the session's Stats and error are already
+// fixed), and the per-event fault counters record injections that the
+// deterministic fault schedule had already decided. No protocol, schedule,
+// or accounting decision ever reads a metric, so instrumented and
+// uninstrumented runs produce byte-identical outputs.
+var (
+	mWireBytes = obs.NewCounter("tricomm_transport_wire_bytes_total",
+		"Framed wire bytes across all session links, header overhead included.")
+	mFrames = obs.NewCounter("tricomm_transport_frames_total",
+		"Frames that crossed session links in either direction.")
+	mRetransmits = obs.NewCounter("tricomm_transport_retransmits_total",
+		"Frames re-sent by the resilience layer after sender-visible loss.")
+	mFramesLost = obs.NewCounter("tricomm_transport_frames_lost_total",
+		"Injected frame drops and corruptions observed by senders.")
+	mFaults = obs.NewCounterVec("tricomm_transport_faults_injected_total",
+		"Faults injected by the deterministic fault layer, by kind.", "type")
+)
+
+// ObserveWire folds one finished session's link counters into the global
+// transport metrics. The engine calls it exactly once per transport-backed
+// session, from the session's final accounting step.
+func ObserveWire(wireBytes, frames, retransmits, framesLost int64) {
+	mWireBytes.Add(float64(wireBytes))
+	mFrames.Add(float64(frames))
+	mRetransmits.Add(float64(retransmits))
+	mFramesLost.Add(float64(framesLost))
+}
+
+// countFault records one injected fault event. The label vocabulary is
+// closed (drop, corrupt, duplicate, stall, disconnect), so cardinality is
+// bounded by the fault model itself.
+func countFault(kind string) { mFaults.With(kind).Inc() }
