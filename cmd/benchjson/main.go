@@ -8,11 +8,18 @@
 // BENCH_3.json were produced by it (see EXPERIMENTS.md for the
 // wall-clock sweep table).
 //
+// It also compares two of its own reports: `benchjson -compare old.json
+// new.json` prints a per-benchmark ns/op delta table and exits non-zero
+// when any shared benchmark regressed by more than -max-regress percent —
+// the CI guard against silent perf decay between committed BENCH_N.json
+// baselines.
+//
 // Examples:
 //
 //	benchjson                     # ~1s per benchmark, JSON on stdout
 //	benchjson -benchtime 100x     # fixed iteration count (CI smoke)
 //	benchjson -o BENCH.json       # write to a file
+//	benchjson -compare -max-regress 20 BENCH_9.json BENCH_10.json
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	tricomm "tricomm"
 	"tricomm/internal/bitset"
 	"tricomm/internal/graph"
+	"tricomm/internal/parwork"
 	"tricomm/internal/scenario"
 )
 
@@ -60,12 +68,20 @@ func main() {
 
 func run() error {
 	var (
-		out       = flag.String("o", "", "output path (default stdout)")
-		benchtime = flag.String("benchtime", "1s", "per-benchmark budget (duration or Nx count)")
-		zeroAlloc = flag.String("assert-zero-alloc", "", "comma-separated benchmark names whose allocs_op must be 0 (exit 1 otherwise)")
+		out        = flag.String("o", "", "output path (default stdout)")
+		benchtime  = flag.String("benchtime", "1s", "per-benchmark budget (duration or Nx count)")
+		zeroAlloc  = flag.String("assert-zero-alloc", "", "comma-separated benchmark names whose allocs_op must be 0 (exit 1 otherwise)")
+		compare    = flag.Bool("compare", false, "compare two reports: benchjson -compare old.json new.json (runs nothing)")
+		maxRegress = flag.Float64("max-regress", 20, "with -compare: exit 1 when any shared benchmark's ns/op grew by more than this percent")
 	)
 	testing.Init()
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-compare wants exactly two report paths, got %d", flag.NArg())
+		}
+		return compareReports(flag.Arg(0), flag.Arg(1), *maxRegress)
+	}
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		return err
 	}
@@ -131,9 +147,81 @@ func run() error {
 	return zeroAllocErr
 }
 
+// compareReports prints a per-benchmark ns/op delta table between two
+// benchjson reports and returns an error when any benchmark present in
+// both regressed by more than maxRegress percent. Benchmarks present in
+// only one report are listed but never fail the comparison, so baselines
+// may gain or retire benchmarks without churn.
+func compareReports(oldPath, newPath string, maxRegress float64) error {
+	load := func(path string) (*Report, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r Report
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &r, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Result, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	fmt.Printf("%-32s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var regressed []string
+	seen := make(map[string]bool, len(newRep.Results))
+	for _, nr := range newRep.Results {
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Printf("%-32s %14s %14.1f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if or.NsPerOp > 0 {
+			delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		}
+		mark := ""
+		if delta > maxRegress {
+			mark = "  REGRESSION"
+			regressed = append(regressed, nr.Name)
+		}
+		fmt.Printf("%-32s %14.1f %14.1f %+8.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, mark)
+	}
+	for _, or := range oldRep.Results {
+		if !seen[or.Name] {
+			fmt.Printf("%-32s %14.1f %14s %9s\n", or.Name, or.NsPerOp, "-", "gone")
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressed), maxRegress, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
 type namedBench struct {
 	name string
 	fn   func(b *testing.B)
+}
+
+// foldBody is the parwork/fold benchmark's scan body, hoisted to package
+// level so the timed loop carries no closure construction.
+var foldBody = func(lo, hi int) int64 {
+	var s int64
+	for i := lo; i < hi; i++ {
+		s += int64(i & 7)
+	}
+	return s
 }
 
 // scenarioBench measures one scenario family's generation hot path at its
@@ -154,6 +242,39 @@ func scenarioBench(family string) func(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// denseSessionBench measures one full interactive session on a dense
+// ε-far instance at the given intra-phase worker width. The w1/w8 pair
+// is the single-session speedup the BENCH trajectory tracks: the reports
+// are bit-identical at every width, so any ns/op gap is pure wall-clock.
+func denseSessionBench(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, _ := tricomm.FarGraph(512, 16, 0.2, 9)
+		cluster, err := tricomm.Split(g, 8, tricomm.SplitDisjoint, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := cluster.Session(tricomm.Options{
+			Protocol: tricomm.Interactive, Eps: 0.2, AvgDegree: 16,
+			IntraWorkers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		var bits int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, terr := s.Test(ctx)
+			if terr != nil {
+				b.Fatal(terr)
+			}
+			bits += rep.Bits
+		}
+		b.ReportMetric(float64(bits)/float64(b.N), "bits/op")
 	}
 }
 
@@ -265,6 +386,45 @@ func coreBenchmarks() []namedBench {
 			}
 			_ = sink
 		}},
+		{"bitset/intersect-count-wide", func(b *testing.B) {
+			// 128-word rows (an 8192-vertex shadow): the 8-word unrolled
+			// fast path, mirroring internal/bitset BenchmarkIntersectCountWide.
+			rng := rand.New(rand.NewSource(13))
+			row := func() []uint64 {
+				r := make([]uint64, 128)
+				for k := 0; k < 128*64; k++ {
+					if rng.Float64() < 0.3 {
+						bitset.Mark(r, k)
+					}
+				}
+				return r
+			}
+			x, y := row(), row()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += bitset.IntersectCount(x, y)
+			}
+			_ = sink
+		}},
+		{"parwork/fold", func(b *testing.B) {
+			// The ordered-fold work-splitting engine at 8 workers over a
+			// 64k-element scan, mirroring internal/parwork BenchmarkFoldInt64.
+			// The body closure is hoisted so the timed loop exercises only
+			// the fold machinery, which must stay allocation-free. One warm-up
+			// call spawns the persistent helper goroutines and primes the job
+			// pool outside the timer, so short -benchtime runs don't smear
+			// that one-time cost across a handful of iterations.
+			parwork.FoldInt64(8, 1<<16, foldBody)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				sink += parwork.FoldInt64(8, 1<<16, foldBody)
+			}
+			_ = sink
+		}},
 		{"graph/count-triangles-dense", func(b *testing.B) {
 			rng := rand.New(rand.NewSource(21))
 			g := graph.ErdosRenyi(2048, 0.05, rng)
@@ -357,6 +517,8 @@ func coreBenchmarks() []namedBench {
 			}
 			b.ReportMetric(float64(bits)/float64(b.N), "bits/op")
 		}},
+		{"protocol/unrestricted-dense-w1", denseSessionBench(1)},
+		{"protocol/unrestricted-dense-w8", denseSessionBench(8)},
 		{"protocol/exact-baseline", func(b *testing.B) {
 			g, _ := tricomm.FarGraph(1024, 8, 0.2, 17)
 			cluster, err := tricomm.Split(g, 4, tricomm.SplitDisjoint, 17)

@@ -73,7 +73,7 @@ func run() (int, error) {
 		trials   = flag.Int("trials", 1, "trials (server mode)")
 		server   = flag.String("server", "", "audit a running tricommd at this base URL instead of running locally")
 		faults   = flag.String("faults", "", "deterministic fault injection: off | lossy | chaos | JSON fault spec")
-		intraW   = flag.Int("intra-workers", 0, "goroutines for the ground-truth triangle search (<= 0: $TRICOMM_INTRA_WORKERS, then 1); verdicts are identical at any value")
+		intraW   = flag.Int("intra-workers", 0, "goroutines for the session's per-player hot loops and the ground-truth triangle search (<= 0: $TRICOMM_INTRA_WORKERS, then 1); reports are identical at any value")
 	)
 	flag.Parse()
 	intraWorkers = tricomm.IntraWorkers(*intraW)
@@ -166,7 +166,7 @@ func runLocal(spec scenario.Spec, eps float64, k int, proto, part, transp, fault
 	if err != nil {
 		return 1, err
 	}
-	opts := tricomm.Options{Protocol: protocol, Eps: eps, Transport: transport, Faults: faults}
+	opts := tricomm.Options{Protocol: protocol, Eps: eps, Transport: transport, Faults: faults, IntraWorkers: intraWorkers}
 	if knownDeg {
 		opts.AvgDegree = g.AvgDegree()
 	}

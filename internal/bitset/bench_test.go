@@ -21,6 +21,22 @@ func BenchmarkIntersectCount(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkIntersectCountWide measures the 8-word unrolled fast path on
+// rows the size of an 8192-vertex shadow (128 words, 8192 bits), the
+// shape dense-scenario sessions hand the closing kernels.
+func BenchmarkIntersectCountWide(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	a := randRow(rng, 128, 0.3)
+	c := randRow(rng, 128, 0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += IntersectCount(a, c)
+	}
+	_ = sink
+}
+
 func BenchmarkIntersectVisitAbove(b *testing.B) {
 	rng := rand.New(rand.NewSource(12))
 	a := randRow(rng, 32, 0.3)

@@ -93,6 +93,48 @@ func TestIntersectCountOracle(t *testing.T) {
 	}
 }
 
+// TestIntersectCountWideOracle pins the 8-word unrolled fast path
+// (rows ≥ 512 bits) to the scalar oracle, including widths that leave a
+// 4-way block and a sub-4 tail after the wide blocks, uneven row
+// lengths, and every first-word cut position for the Above variant.
+func TestIntersectCountWideOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, nw := range []int{8, 9, 11, 12, 15, 16, 17, 31, 33, 64} {
+		for trial := 0; trial < 20; trial++ {
+			a := randRow(rng, nw, 0.4)
+			bw := nw
+			if trial%3 == 1 {
+				bw = nw - 1 - rng.Intn(nw/2) // uneven: prefix rule applies
+			}
+			b := randRow(rng, bw, 0.4)
+			lim := nw * 64
+			if bw*64 < lim {
+				lim = bw * 64
+			}
+			want := 0
+			for i := 0; i < lim; i++ {
+				if Test(a, i) && Test(b, i) {
+					want++
+				}
+			}
+			if got := IntersectCount(a, b); got != want {
+				t.Fatalf("nw=%d bw=%d trial %d: IntersectCount = %d, want %d", nw, bw, trial, got, want)
+			}
+			for _, lo := range []int{-1, 0, 62, 63, 64, 65, 127, 511, 512, lim - 2, lim - 1} {
+				wantAbove := 0
+				for i := lo + 1; i < lim; i++ {
+					if i >= 0 && Test(a, i) && Test(b, i) {
+						wantAbove++
+					}
+				}
+				if got := IntersectCountAbove(a, b, lo); got != wantAbove {
+					t.Fatalf("nw=%d bw=%d: IntersectCountAbove(lo=%d) = %d, want %d", nw, bw, lo, got, wantAbove)
+				}
+			}
+		}
+	}
+}
+
 func TestIntersectVisitEarlyStop(t *testing.T) {
 	a := make([]uint64, 2)
 	b := make([]uint64, 2)

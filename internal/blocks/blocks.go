@@ -14,6 +14,7 @@ package blocks
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"tricomm/internal/comm"
 	"tricomm/internal/wire"
@@ -76,6 +77,19 @@ func Handle(p *comm.Player, req comm.Msg) (comm.Msg, error) {
 		}
 		return comm.Msg{}, fmt.Errorf("%w: unknown opcode %d", ErrBadRequest, op)
 	}
+}
+
+// parRegion times an intra-phase parallel region for the observability
+// meter: call it before the region and invoke the returned func after. At
+// width 1 nothing fans out and nothing is recorded, so the serial path
+// carries no clock reads. Timing feeds metrics only — never Stats — so
+// it cannot perturb the deterministic artifact.
+func parRegion(p *comm.Player) func() {
+	if p.Workers <= 1 {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { p.ObserveParallel(time.Since(t0)) }
 }
 
 // reqWriter starts a request message with the given opcode.

@@ -8,6 +8,7 @@ import (
 	"tricomm/internal/bucket"
 	"tricomm/internal/comm"
 	"tricomm/internal/graph"
+	"tricomm/internal/parwork"
 	"tricomm/internal/wire"
 	"tricomm/internal/xrand"
 )
@@ -35,12 +36,15 @@ func handleCollectInduced(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
 		return comm.Msg{}, err
 	}
 	key := p.Shared.Key("vsample/" + tag)
-	var out []wire.Edge
-	for _, e := range p.Edges {
-		if key.Bernoulli(uint64(e.U), prob) && key.Bernoulli(uint64(e.V), prob) {
-			out = append(out, e)
-		}
-	}
+	// Bernoulli is a pure point query of the shared key, so the filter can
+	// fan across workers; parwork.Filter preserves input order, which makes
+	// the kept set (and the truncation below) bit-identical to the serial
+	// append loop at any width.
+	done := parRegion(p)
+	out := parwork.Filter(p.Workers, p.Edges, func(_ int, e wire.Edge) bool {
+		return key.Bernoulli(uint64(e.U), prob) && key.Bernoulli(uint64(e.V), prob)
+	})
+	done()
 	out = truncate(out, cap64)
 	var w wire.Writer
 	if err := wire.NewEdgeCodec(p.N).PutEdgeList(&w, out); err != nil {
@@ -93,8 +97,10 @@ func handleCollectCross(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
 	if err != nil {
 		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	out := CrossSampleEdges(p.Edges, p.Shared.Key("vsample/"+string(tagRBytes)),
-		p.Shared.Key("vsample/"+string(tagSBytes)), pR, pS)
+	done := parRegion(p)
+	out := CrossSampleEdgesN(p.Edges, p.Shared.Key("vsample/"+string(tagRBytes)),
+		p.Shared.Key("vsample/"+string(tagSBytes)), pR, pS, p.Workers)
+	done()
 	out = truncate(out, cap64)
 	var w wire.Writer
 	if err := wire.NewEdgeCodec(p.N).PutEdgeList(&w, out); err != nil {
@@ -108,16 +114,20 @@ func handleCollectCross(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
 // Exported for reuse by the simultaneous protocols, which apply the same
 // filter player-side.
 func CrossSampleEdges(edges []wire.Edge, keyR, keyS xrand.Key, pR, pS float64) []wire.Edge {
+	return CrossSampleEdgesN(edges, keyR, keyS, pR, pS, 1)
+}
+
+// CrossSampleEdgesN is CrossSampleEdges fanned across up to workers
+// goroutines. Both membership tests are pure point queries of shared
+// keys and the filter preserves input order, so the output is
+// bit-identical to the serial loop at any width.
+func CrossSampleEdgesN(edges []wire.Edge, keyR, keyS xrand.Key, pR, pS float64, workers int) []wire.Edge {
 	inR := func(v int) bool { return keyR.Bernoulli(uint64(v), pR) }
 	inS := func(v int) bool { return keyS.Bernoulli(uint64(v), pS) }
-	var out []wire.Edge
-	for _, e := range edges {
+	return parwork.Filter(workers, edges, func(_ int, e wire.Edge) bool {
 		ru, rv := inR(e.U), inR(e.V)
-		if (ru && rv) || (ru && inS(e.V)) || (rv && inS(e.U)) {
-			out = append(out, e)
-		}
-	}
-	return out
+		return (ru && rv) || (ru && inS(e.V)) || (rv && inS(e.U))
+	})
 }
 
 // CollectIncidentSample gathers the sampled star around v: every player
@@ -175,10 +185,16 @@ func handleCollectIncidentSample(p *comm.Player, r *wire.Reader) (comm.Msg, erro
 		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	key := p.Shared.Key("star/" + string(tagBytes))
+	done := parRegion(p)
+	kept := parwork.Filter(p.Workers, p.View.Neighbors(v), func(_ int, u int32) bool {
+		return key.Bernoulli(uint64(u), prob)
+	})
+	done()
 	var arms []int
-	for _, u := range p.View.Neighbors(v) {
-		if key.Bernoulli(uint64(u), prob) {
-			arms = append(arms, int(u))
+	if len(kept) > 0 {
+		arms = make([]int, len(kept))
+		for i, u := range kept {
+			arms[i] = int(u)
 		}
 	}
 	if cap64 > 0 && uint64(len(arms)) > cap64 {
@@ -244,20 +260,21 @@ func handleCloseVees(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
 	}
 	var w wire.Writer
 	// Same first-hit contract as the former nested HasEdge loop;
-	// FirstAdjacent just answers each candidate with a shadow bit test
-	// when the view row is dense.
-	for i, u1 := range arms {
-		if j := p.View.FirstAdjacent(u1, arms[i+1:]); j >= 0 {
-			u2 := arms[i+1+j]
-			w.WriteBool(true)
-			if err := vc.Put(&w, u1); err != nil {
-				return comm.Msg{}, err
-			}
-			if err := vc.Put(&w, u2); err != nil {
-				return comm.Msg{}, err
-			}
-			return comm.FromWriter(&w), nil
+	// FirstArmPairN fans the outer scan across the player's workers with
+	// the serial-first-hit reduction, so the witness pair is identical at
+	// any width.
+	done := parRegion(p)
+	u1, u2, ok := p.View.FirstArmPairN(arms, p.Workers)
+	done()
+	if ok {
+		w.WriteBool(true)
+		if err := vc.Put(&w, u1); err != nil {
+			return comm.Msg{}, err
 		}
+		if err := vc.Put(&w, u2); err != nil {
+			return comm.Msg{}, err
+		}
+		return comm.FromWriter(&w), nil
 	}
 	w.WriteBool(false)
 	return comm.FromWriter(&w), nil
@@ -310,8 +327,12 @@ func handleCandidateMinRank(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
 		return comm.Msg{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	key := p.Shared.Key("cand/" + string(tagBytes))
-	cands := bucket.Candidates(p.View, int(bucketIdx), p.K)
-	best, found := key.MinRank(cands)
+	// Fused candidate-scan + min-rank: no candidate slice, and the vertex
+	// scan fans across the player's workers (chunk-local minima folded in
+	// chunk order under the Before total order — same winner at any width).
+	done := parRegion(p)
+	best, found := bucket.MinRankCandidate(p.View, int(bucketIdx), p.K, key, p.Workers)
+	done()
 	var w wire.Writer
 	w.WriteBool(found)
 	if found {

@@ -7,6 +7,7 @@ import (
 	"math/bits"
 
 	"tricomm/internal/comm"
+	"tricomm/internal/parwork"
 	"tricomm/internal/wire"
 )
 
@@ -215,17 +216,29 @@ func handleSampleTest(p *comm.Player, r *wire.Reader) (comm.Msg, error) {
 	}
 	elems := localElements(p, mode, v)
 	prob := 1 / guess
-	var w wire.Writer
-	for i := uint64(0); i < m; i++ {
-		key := p.Shared.Key(fmt.Sprintf("approx/%s/%d/%d/%d/%d", tagBytes, mode, v, round, i))
-		hit := false
-		for _, e := range elems {
-			if key.Bernoulli(e, prob) {
-				hit = true
-				break
+	// The m experiments are independent — each derives its own key from the
+	// shared randomness and scans the player's elements — so they fan
+	// across the player's workers, each writing only its own hits slot. The
+	// reply bits are then emitted serially in experiment order, identical
+	// to the serial loop at any width.
+	mi := int(m)
+	hits := make([]bool, mi)
+	done := parRegion(p)
+	parwork.ForEach(p.Workers, mi, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			key := p.Shared.Key(fmt.Sprintf("approx/%s/%d/%d/%d/%d", tagBytes, mode, v, round, i))
+			for _, e := range elems {
+				if key.Bernoulli(e, prob) {
+					hits[i] = true
+					break
+				}
 			}
 		}
-		w.WriteBool(hit)
+	})
+	done()
+	var w wire.Writer
+	for i := 0; i < mi; i++ {
+		w.WriteBool(hits[i])
 	}
 	return comm.FromWriter(&w), nil
 }

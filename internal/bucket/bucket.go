@@ -17,6 +17,8 @@ import (
 	"math"
 
 	"tricomm/internal/graph"
+	"tricomm/internal/parwork"
+	"tricomm/internal/xrand"
 )
 
 // Index returns the bucket index of a vertex of the given degree: 0 for
@@ -183,4 +185,55 @@ func Candidates(view *graph.Graph, i, k int) []int {
 		}
 	}
 	return out
+}
+
+// minRankSerialBelow keeps MinRankCandidate serial for small universes,
+// where a fan-out costs more than the scan.
+const minRankSerialBelow = 1024
+
+// MinRankCandidate returns key.MinRank(Candidates(view, i, k)) without
+// materializing the candidate slice: one fused scan over the vertex
+// range, fanned across up to workers goroutines. Before is a strict
+// total order (hash rank with id tie-break), so taking chunk-local
+// minima and folding them in chunk order yields exactly the serial
+// scan's minimum at any worker count.
+func MinRankCandidate(view *graph.Graph, i, k int, key xrand.Key, workers int) (int, bool) {
+	if k < 1 {
+		panic("bucket: MinRankCandidate requires k >= 1")
+	}
+	lo := float64(DegMin(i)) / float64(k)
+	hi := DegMax(i)
+	n := view.N()
+	scan := func(vlo, vhi int) (int64, bool) {
+		best, found := -1, false
+		for v := vlo; v < vhi; v++ {
+			dj := view.Degree(v)
+			if dj > 0 && float64(dj) >= lo && dj <= hi {
+				if !found || key.Before(uint64(v), uint64(best)) {
+					best, found = v, true
+				}
+			}
+		}
+		return int64(best), found
+	}
+	if workers <= 1 || n < minRankSerialBelow {
+		b, ok := scan(0, n)
+		return int(b), ok
+	}
+	nc := parwork.NumChunks(workers, n)
+	bests := make([]int64, nc)
+	founds := make([]bool, nc)
+	parwork.ForEach(workers, n, func(c, vlo, vhi int) {
+		bests[c], founds[c] = scan(vlo, vhi)
+	})
+	best, found := -1, false
+	for c := 0; c < nc; c++ {
+		if !founds[c] {
+			continue
+		}
+		if !found || key.Before(uint64(bests[c]), uint64(best)) {
+			best, found = int(bests[c]), true
+		}
+	}
+	return best, found
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tricomm/internal/graph"
+	"tricomm/internal/parwork"
 	"tricomm/internal/transport"
 	"tricomm/internal/xrand"
 )
@@ -29,9 +30,19 @@ type Player struct {
 	View *graph.Graph
 	// Shared is the public randomness (identical on all parties).
 	Shared *xrand.Shared
+	// Workers is the resolved intra-phase worker count: hot local loops
+	// may fan across up to this many goroutines (via parwork). Always ≥ 1;
+	// results and bit accounting are identical at every value.
+	Workers int
 
-	conn transport.Conn
+	conn  transport.Conn
+	meter *Meter
 }
+
+// ObserveParallel attributes d of wall clock to the session's intra-phase
+// parallel regions (observability only — never part of Stats). Safe on a
+// Player with no attached meter.
+func (p *Player) ObserveParallel(d time.Duration) { p.meter.ObserveParallel(d) }
 
 // Recv blocks for the next coordinator message. It returns ErrShutdown if
 // the coordinator has finished, or the context error if ctx is canceled.
@@ -87,6 +98,9 @@ type Coordinator struct {
 	N int
 	// Shared is the public randomness.
 	Shared *xrand.Shared
+	// Workers is the resolved intra-phase worker count for coordinator-side
+	// local compute (same contract as Player.Workers).
+	Workers int
 
 	links []transport.Conn
 	pdone []<-chan struct{} // closed when the player goroutine exits
@@ -369,6 +383,8 @@ func RunOn(ctx context.Context, top *Topology, coord CoordinatorFunc, player Pla
 	}
 	k := top.K()
 	meter := NewMeter(k)
+	workers := parwork.Workers(top.intra)
+	mIntraWorkers.Set(float64(workers))
 
 	links, err := dial.Dial(k)
 	if err != nil {
@@ -390,13 +406,14 @@ func RunOn(ctx context.Context, top *Topology, coord CoordinatorFunc, player Pla
 
 	pdone := make([]chan struct{}, k)
 	c := &Coordinator{
-		K:      k,
-		N:      top.N(),
-		Shared: top.Shared(),
-		links:  make([]transport.Conn, k),
-		pdone:  make([]<-chan struct{}, k),
-		meter:  meter,
-		seq:    o.seqFanout,
+		K:       k,
+		N:       top.N(),
+		Shared:  top.Shared(),
+		Workers: workers,
+		links:   make([]transport.Conn, k),
+		pdone:   make([]<-chan struct{}, k),
+		meter:   meter,
+		seq:     o.seqFanout,
 	}
 	for j := 0; j < k; j++ {
 		c.links[j] = links[j].A
@@ -408,13 +425,15 @@ func RunOn(ctx context.Context, top *Topology, coord CoordinatorFunc, player Pla
 	var wg sync.WaitGroup
 	for j := 0; j < k; j++ {
 		p := &Player{
-			ID:     j,
-			K:      k,
-			N:      top.N(),
-			Edges:  top.Input(j),
-			View:   top.View(j),
-			Shared: top.Shared(),
-			conn:   links[j].B,
+			ID:      j,
+			K:       k,
+			N:       top.N(),
+			Edges:   top.Input(j),
+			View:    top.View(j),
+			Shared:  top.Shared(),
+			Workers: workers,
+			conn:    links[j].B,
+			meter:   meter,
 		}
 		wg.Add(1)
 		go func() {

@@ -32,6 +32,10 @@ var (
 		"Wall-clock seconds attributed to named phases.", "phase")
 	mSessionSeconds = obs.NewHistogram("tricomm_engine_session_seconds",
 		"Wall-clock duration of one protocol session.", obs.DurationBuckets())
+	mIntraWorkers = obs.NewGauge("tricomm_engine_intra_workers",
+		"Resolved intra-phase worker count of the most recently started session.")
+	mPhaseParSeconds = obs.NewCounterVec("tricomm_engine_phase_parallel_seconds_total",
+		"Wall-clock seconds spent inside intra-phase parallel regions, by phase.", "phase")
 )
 
 // observeSession folds one finished session into the engine metrics and,
@@ -50,7 +54,12 @@ func observeSession(model string, start time.Time, stats Stats, timings []phaseT
 		mPhaseBits.With(p.Name).Add(float64(p.Bits))
 	}
 	for _, t := range timings {
-		mPhaseSeconds.With(t.name).Add(t.seconds)
+		if t.seconds > 0 {
+			mPhaseSeconds.With(t.name).Add(t.seconds)
+		}
+		if t.parSeconds > 0 {
+			mPhaseParSeconds.With(t.name).Add(t.parSeconds)
+		}
 	}
 	mSessionSeconds.Observe(time.Since(start).Seconds())
 	if len(links) > 0 {

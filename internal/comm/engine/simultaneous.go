@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tricomm/internal/graph"
+	"tricomm/internal/parwork"
 	"tricomm/internal/xrand"
 )
 
@@ -26,7 +27,18 @@ type SimPlayer struct {
 	View *graph.Graph
 	// Shared is the public randomness.
 	Shared *xrand.Shared
+	// Workers is the resolved intra-phase worker count: hot local loops
+	// may fan across up to this many goroutines (via parwork). Always ≥ 1;
+	// results and bit accounting are identical at every value.
+	Workers int
+
+	meter *Meter
 }
+
+// ObserveParallel attributes d of wall clock to the session's intra-phase
+// parallel regions (observability only — never part of Stats). Safe on a
+// SimPlayer with no attached meter (e.g. BoardPlayersOn views).
+func (p *SimPlayer) ObserveParallel(d time.Duration) { p.meter.ObserveParallel(d) }
 
 // SimPlayerFunc computes a player's single message from its input.
 type SimPlayerFunc func(p *SimPlayer) (Msg, error)
@@ -38,15 +50,17 @@ type RefereeFunc func(shared *xrand.Shared, msgs []Msg) error
 // simPlayers materializes the ordered player views over the topology's
 // cached local graphs.
 func simPlayers(top *Topology) []*SimPlayer {
+	workers := parwork.Workers(top.intra)
 	players := make([]*SimPlayer, top.K())
 	for j := range players {
 		players[j] = &SimPlayer{
-			ID:     j,
-			K:      top.K(),
-			N:      top.N(),
-			Edges:  top.Input(j),
-			View:   top.View(j),
-			Shared: top.Shared(),
+			ID:      j,
+			K:       top.K(),
+			N:       top.N(),
+			Edges:   top.Input(j),
+			View:    top.View(j),
+			Shared:  top.Shared(),
+			Workers: workers,
 		}
 	}
 	return players
@@ -68,14 +82,19 @@ func RunSimultaneous(ctx context.Context, cfg Config, player SimPlayerFunc, refe
 // metered, and the referee is invoked on the ordered message vector.
 func RunSimultaneousOn(ctx context.Context, top *Topology, player SimPlayerFunc, referee RefereeFunc) (s Stats, err error) {
 	start := time.Now()
-	defer func() { observeSession("simultaneous", start, s, nil, nil, err) }()
 	k := top.K()
 	meter := NewMeter(k)
+	defer func() { observeSession("simultaneous", start, s, meter.takePhaseTimings(), nil, err) }()
 	msgs := make([]Msg, k)
 	errs := make([]error, k)
 
+	players := simPlayers(top)
+	if len(players) > 0 {
+		mIntraWorkers.Set(float64(players[0].Workers))
+	}
 	var wg sync.WaitGroup
-	for _, p := range simPlayers(top) {
+	for _, p := range players {
+		p.meter = meter
 		wg.Add(1)
 		go func(p *SimPlayer) {
 			defer wg.Done()

@@ -29,6 +29,7 @@ type Topology struct {
 	shared *xrand.Shared
 	cache  *viewCache
 	dial   transport.Dialer // nil means the in-process channel transport
+	intra  int              // requested intra-phase workers; ≤0 defers to env
 }
 
 // NewTopology validates the instance and returns a topology with an empty
@@ -82,7 +83,7 @@ func (t *Topology) Warm() {
 // protocol with fresh randomness on an unchanged cluster (views are
 // randomness-independent, so the cache stays valid and shared).
 func (t *Topology) WithShared(shared *xrand.Shared) *Topology {
-	return &Topology{n: t.n, inputs: t.inputs, shared: shared, cache: t.cache, dial: t.dial}
+	return &Topology{n: t.n, inputs: t.inputs, shared: shared, cache: t.cache, dial: t.dial, intra: t.intra}
 }
 
 // Transport returns the dialer coordinator-model sessions over this
@@ -100,8 +101,21 @@ func (t *Topology) Transport() transport.Dialer {
 // transport-agnostic, so the expensive per-player state is shared across
 // transports. A nil d restores the default in-process transport.
 func (t *Topology) WithTransport(d transport.Dialer) *Topology {
-	return &Topology{n: t.n, inputs: t.inputs, shared: t.shared, cache: t.cache, dial: d}
+	return &Topology{n: t.n, inputs: t.inputs, shared: t.shared, cache: t.cache, dial: d, intra: t.intra}
 }
+
+// WithIntraWorkers returns a topology whose sessions fan per-player hot
+// loops across up to n goroutines (resolved through parwork.Workers at
+// session start, so n ≤ 0 defers to TRICOMM_INTRA_WORKERS). Results and
+// bit accounting are identical at every width — the knob trades only
+// wall clock.
+func (t *Topology) WithIntraWorkers(n int) *Topology {
+	return &Topology{n: t.n, inputs: t.inputs, shared: t.shared, cache: t.cache, dial: t.dial, intra: n}
+}
+
+// IntraWorkers reports the raw intra-phase worker request (≤0 means
+// "resolve from the environment at session start").
+func (t *Topology) IntraWorkers() int { return t.intra }
 
 // Config returns the throwaway-config form of the topology.
 func (t *Topology) Config() Config {

@@ -1,39 +1,30 @@
 package graph
 
 import (
-	"os"
-	"strconv"
-	"sync"
 	"sync/atomic"
+
+	"tricomm/internal/parwork"
 )
 
 // This file provides intra-trial parallelism: row-range-partitioned
 // variants of the triangle kernels that are bit-identical to the serial
 // ones at any worker count. The contract mirrors the PR 2 harness runner
 // — work is split into deterministic chunks, workers claim chunks from an
-// atomic cursor, and the reduction folds partials in chunk (row) order —
-// but lives here because graph cannot import the runner (the runner
-// already imports graph).
+// atomic cursor, and the reduction folds partials in chunk (row) order.
+// The fan-out itself now rides on internal/parwork (the shared
+// intra-phase work-splitting layer); this file keeps the graph-specific
+// arc-balanced partition and the kernel reductions.
 
 // IntraWorkersEnv is the environment variable consulted when a caller
 // passes a non-positive intra-trial worker count.
-const IntraWorkersEnv = "TRICOMM_INTRA_WORKERS"
+const IntraWorkersEnv = parwork.EnvVar
 
 // IntraWorkers resolves an intra-trial worker-count request: an explicit
-// n > 0 wins; otherwise TRICOMM_INTRA_WORKERS; otherwise 1. The default
-// is deliberately serial — trial-level parallelism owns the cores, and
-// intra-trial fan-out only pays when a single large job has the box to
-// itself.
+// n > 0 wins; otherwise TRICOMM_INTRA_WORKERS; otherwise 1. It delegates
+// to parwork.Workers, which warns once (and falls back to 1) on an
+// unparseable or non-positive environment value.
 func IntraWorkers(n int) int {
-	if n > 0 {
-		return n
-	}
-	if s := os.Getenv(IntraWorkersEnv); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v > 0 {
-			return v
-		}
-	}
-	return 1
+	return parwork.Workers(n)
 }
 
 // rowChunks partitions the vertex range [0, n) into at most parts
@@ -64,29 +55,6 @@ func (g *Graph) rowChunks(parts int) [][2]int {
 	return chunks
 }
 
-// runChunks fans the chunks across workers goroutines. Workers claim
-// chunk indexes from an atomic cursor, so every chunk runs exactly once;
-// which worker runs it is scheduling-dependent, which is why do must
-// write only chunk-indexed state.
-func runChunks(workers, chunks int, do func(chunk int)) {
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= chunks {
-					return
-				}
-				do(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // CountTrianglesN counts triangles with up to workers goroutines. The
 // result is bit-identical to CountTriangles at any worker count: each
 // triangle is attributed to its smallest vertex's chunk, partial counts
@@ -98,7 +66,7 @@ func (g *Graph) CountTrianglesN(workers int) int64 {
 	}
 	chunks := g.rowChunks(4 * workers)
 	partial := make([]int64, len(chunks))
-	runChunks(workers, len(chunks), func(i int) {
+	parwork.Run(workers, len(chunks), func(i int) {
 		partial[i] = g.countTrianglesRange(chunks[i][0], chunks[i][1])
 	})
 	var total int64
@@ -121,7 +89,7 @@ func (g *Graph) DisjointVeeCountN(workers int) []int {
 		return out
 	}
 	chunks := g.rowChunks(4 * workers)
-	runChunks(workers, len(chunks), func(i int) {
+	parwork.Run(workers, len(chunks), func(i int) {
 		for v := chunks[i][0]; v < chunks[i][1]; v++ {
 			out[v] = g.DisjointVeeCountAt(v)
 		}
@@ -146,7 +114,7 @@ func (g *Graph) FindTriangleN(workers int) (Triangle, bool) {
 	hit := make([]bool, len(chunks))
 	var best atomic.Int64
 	best.Store(int64(len(chunks)))
-	runChunks(workers, len(chunks), func(i int) {
+	parwork.Run(workers, len(chunks), func(i int) {
 		if int64(i) > best.Load() {
 			return // a lower chunk already has a witness
 		}
@@ -168,6 +136,42 @@ func (g *Graph) FindTriangleN(workers int) (Triangle, bool) {
 		}
 	}
 	return Triangle{}, false
+}
+
+// firstArmPairSerialBelow keeps FirstArmPairN serial for small stars,
+// where a fan-out costs more than the scan.
+const firstArmPairSerialBelow = 32
+
+// FirstArmPairN finds the first adjacent pair among arms — the pair the
+// serial double loop `for i { FirstAdjacent(arms[i], arms[i+1:]) }`
+// returns: lowest outer index i first, then that row's FirstAdjacent
+// order. The outer scan fans across up to workers goroutines with the
+// serial-first-hit reduction, so the witness pair is identical at any
+// worker count.
+func (g *Graph) FirstArmPairN(arms []int, workers int) (u1, u2 int, ok bool) {
+	items := len(arms) - 1
+	if items <= 0 {
+		return 0, 0, false
+	}
+	probe := func(lo, hi int) (int64, bool) {
+		for i := lo; i < hi; i++ {
+			if j := g.FirstAdjacent(arms[i], arms[i+1:]); j >= 0 {
+				return int64(i)<<32 | int64(i+1+j), true
+			}
+		}
+		return 0, false
+	}
+	if workers <= 1 || items < firstArmPairSerialBelow {
+		if v, hit := probe(0, items); hit {
+			return arms[v>>32], arms[v&0xffffffff], true
+		}
+		return 0, 0, false
+	}
+	v, hit := parwork.First(workers, items, probe)
+	if !hit {
+		return 0, 0, false
+	}
+	return arms[v>>32], arms[v&0xffffffff], true
 }
 
 // findTriangleRange is FindTriangle's scan restricted to edges whose

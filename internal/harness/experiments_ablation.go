@@ -61,11 +61,12 @@ func e12Behrend() Experiment {
 			plans := make([]runner.Plan, len(bs))
 			for bi, b := range bs {
 				plans[bi] = runner.Plan{
-					Trials:      trials,
-					Seed:        func(trial int) uint64 { return cfg.Seed*313 + uint64(trial) },
-					Gen:         b.mk,
-					Partitioner: partition.Disjoint{},
-					K:           4,
+					Trials:       trials,
+					IntraWorkers: cfg.IntraWorkers,
+					Seed:         func(trial int) uint64 { return cfg.Seed*313 + uint64(trial) },
+					Gen:          b.mk,
+					Partitioner:  partition.Disjoint{},
+					K:            4,
 					Testers: []func(g *graph.Graph, trial int) runner.Tester{
 						func(g *graph.Graph, trial int) runner.Tester {
 							if b.proto == "sim-high" {
@@ -116,11 +117,12 @@ func e13Bucketing() Experiment {
 			plans := make([]runner.Plan, len(testers))
 			for ti, tc := range testers {
 				plans[ti] = runner.Plan{
-					Trials:      trials,
-					Seed:        func(trial int) uint64 { return cfg.Seed*127 + uint64(trial) },
-					Gen:         gen,
-					Partitioner: partition.Disjoint{},
-					K:           4,
+					Trials:       trials,
+					IntraWorkers: cfg.IntraWorkers,
+					Seed:         func(trial int) uint64 { return cfg.Seed*127 + uint64(trial) },
+					Gen:          gen,
+					Partitioner:  partition.Disjoint{},
+					K:            4,
 					Testers: []func(g *graph.Graph, trial int) runner.Tester{
 						func(g *graph.Graph, trial int) runner.Tester {
 							if tc == "bucketed" {

@@ -25,12 +25,13 @@ import (
 func planFor(cfg RunConfig, trials int, gen func(rng *rand.Rand) *graph.Graph,
 	pt partition.Partitioner, k int, mks ...func(g *graph.Graph, trial int) runner.Tester) runner.Plan {
 	return runner.Plan{
-		Trials:      trials,
-		Seed:        func(trial int) uint64 { return runner.TrialSeed(cfg.Seed, trial) },
-		Gen:         gen,
-		Partitioner: pt,
-		K:           k,
-		Testers:     mks,
+		Trials:       trials,
+		Seed:         func(trial int) uint64 { return runner.TrialSeed(cfg.Seed, trial) },
+		Gen:          gen,
+		Partitioner:  pt,
+		K:            k,
+		Testers:      mks,
+		IntraWorkers: cfg.IntraWorkers,
 	}
 }
 
@@ -476,8 +477,9 @@ func e10NoDup() Experiment {
 			plans := make([]runner.Plan, len(bs))
 			for bi, b := range bs {
 				plans[bi] = runner.Plan{
-					Trials: trials,
-					Seed:   func(trial int) uint64 { return cfg.Seed*31 + uint64(trial) },
+					Trials:       trials,
+					IntraWorkers: cfg.IntraWorkers,
+					Seed:         func(trial int) uint64 { return cfg.Seed*31 + uint64(trial) },
 					Gen: func(rng *rand.Rand) *graph.Graph {
 						return graph.FarWithDegree(graph.FarParams{N: n, D: b.d, Eps: eps}, rng).G
 					},

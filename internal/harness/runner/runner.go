@@ -174,6 +174,11 @@ type Plan struct {
 	// Testers construct the protocols to run on the trial's shared
 	// topology, in order.
 	Testers []func(g *graph.Graph, trial int) Tester
+	// IntraWorkers fans each session's per-player hot loops across up to
+	// this many goroutines (≤ 0 defers to TRICOMM_INTRA_WORKERS). Results
+	// are bit-identical at every width, so it composes freely with
+	// trial-level Workers.
+	IntraWorkers int
 }
 
 // TrialResult is one tester's outcome on one trial.
@@ -201,6 +206,9 @@ func (p Plan) runTrialInto(ctx context.Context, a *Arena, trial int, row []Trial
 	top, err := comm.NewTopology(g.N(), part.Inputs, shared)
 	if err != nil {
 		return fmt.Errorf("trial %d: %w", trial, err)
+	}
+	if p.IntraWorkers > 0 {
+		top = top.WithIntraWorkers(p.IntraWorkers)
 	}
 	for i, mk := range p.Testers {
 		res, rerr := mk(g, trial).RunOn(ctx, top)

@@ -1,0 +1,5 @@
+package parwork
+
+// resetEnvWarn re-arms the one-shot invalid-environment warning so tests
+// can observe it regardless of ordering.
+func resetEnvWarn() { envWarned.Store(false) }

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"time"
 
 	"tricomm/internal/bucket"
 	"tricomm/internal/comm"
 	"tricomm/internal/graph"
 	"tricomm/internal/marks"
+	"tricomm/internal/parwork"
 	"tricomm/internal/wire"
 )
 
@@ -137,8 +139,11 @@ func (u UnrestrictedBlackboard) RunOn(ctx context.Context, top *comm.Topology) (
 			key := top.Shared().Key(fmt.Sprintf("cand/%s/b%d/s%d", tag, i, count))
 			best, found := -1, false
 			for _, p := range players {
-				local := bucket.Candidates(p.View, i, k)
-				lv, ok := key.MinRank(local)
+				// Fused candidate-scan + min-rank, fanned across the
+				// player's intra-phase workers (same winner at any width).
+				done := boardParRegion(board, p.Workers)
+				lv, ok := bucket.MinRankCandidate(p.View, i, k, key, p.Workers)
+				done()
 				var w wire.Writer
 				w.WriteBool(ok)
 				if ok {
@@ -198,12 +203,26 @@ func (u UnrestrictedBlackboard) RunOn(ctx context.Context, top *comm.Topology) (
 			posted.Reset(n)
 			var arms []int
 			for _, pl := range players {
-				var fresh []int
-				for _, u32 := range pl.View.Neighbors(cd.v) {
+				// The filter predicate only reads the posted set (Has is a
+				// pure stamp comparison; no Adds run during the scan) and
+				// queries the shared key, so it fans across workers; a row's
+				// neighbors are distinct, so deferring the Adds to the serial
+				// loop below cannot change which arms are kept. Order is
+				// preserved, so the board transcript is identical at any
+				// width.
+				done := boardParRegion(board, pl.Workers)
+				freshNbrs := parwork.Filter(pl.Workers, pl.View.Neighbors(cd.v), func(_ int, u32 int32) bool {
 					uu := int(u32)
-					if !posted.Has(uu) && key.Bernoulli(uint64(uu), p) {
+					return !posted.Has(uu) && key.Bernoulli(uint64(uu), p)
+				})
+				done()
+				var fresh []int
+				if len(freshNbrs) > 0 {
+					fresh = make([]int, len(freshNbrs))
+					for fi, u32 := range freshNbrs {
+						uu := int(u32)
 						posted.Add(uu)
-						fresh = append(fresh, uu)
+						fresh[fi] = uu
 					}
 				}
 				if len(arms)+len(fresh) > capTotal {
@@ -226,7 +245,10 @@ func (u UnrestrictedBlackboard) RunOn(ctx context.Context, top *comm.Topology) (
 			// Closing: the first player holding an edge between two posted
 			// arms posts the triangle.
 			for _, pl := range players {
-				if tri, ok := closeArms(pl.View, cd.v, arms); ok {
+				done := boardParRegion(board, pl.Workers)
+				tri, ok := closeArmsN(pl.View, cd.v, arms, pl.Workers)
+				done()
+				if ok {
 					var w wire.Writer
 					if err := vc.Put(&w, tri.A); err != nil {
 						return res, err
@@ -254,16 +276,25 @@ func (u UnrestrictedBlackboard) RunOn(ctx context.Context, top *comm.Topology) (
 	return res, nil
 }
 
-// closeArms looks in view for an edge between two arms of the star at v.
-// FirstAdjacent scans each arm's remaining partners through the view's
+// closeArmsN looks in view for an edge between two arms of the star at v.
+// FirstArmPairN scans each arm's remaining partners through the view's
 // dense shadows when present (one bit test per candidate instead of a
-// hash probe), returning the same first pair the nested HasEdge loop
-// found.
-func closeArms(view *graph.Graph, v int, arms []int) (graph.Triangle, bool) {
-	for i, u1 := range arms {
-		if j := view.FirstAdjacent(u1, arms[i+1:]); j >= 0 {
-			return graph.Triangle{A: v, B: u1, C: arms[i+1+j]}.Canon(), true
-		}
+// hash probe), fanning the outer scan across up to workers goroutines
+// with the serial-first-hit reduction — the same first pair the nested
+// HasEdge loop found, at any width.
+func closeArmsN(view *graph.Graph, v int, arms []int, workers int) (graph.Triangle, bool) {
+	if u1, u2, ok := view.FirstArmPairN(arms, workers); ok {
+		return graph.Triangle{A: v, B: u1, C: u2}.Canon(), true
 	}
 	return graph.Triangle{}, false
+}
+
+// boardParRegion times an intra-phase parallel region against the board's
+// observability meter; at width 1 it is free (metrics only, never Stats).
+func boardParRegion(b *comm.Board, workers int) func() {
+	if workers <= 1 {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { b.ObserveParallel(time.Since(t0)) }
 }

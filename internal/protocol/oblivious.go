@@ -8,6 +8,7 @@ import (
 	"tricomm/internal/blocks"
 	"tricomm/internal/comm"
 	"tricomm/internal/graph"
+	"tricomm/internal/parwork"
 	"tricomm/internal/wire"
 	"tricomm/internal/xrand"
 )
@@ -115,11 +116,11 @@ func (s SimOblivious) RunOn(ctx context.Context, top *comm.Topology) (Result, er
 						pS = 1
 					}
 					key := pl.Shared.Key(fmt.Sprintf("vsample/%s/high/%d", tag, exp))
-					for _, e := range pl.Edges {
-						if key.Bernoulli(uint64(e.U), pS) && key.Bernoulli(uint64(e.V), pS) {
-							out = append(out, e)
-						}
-					}
+					done := simParRegion(pl)
+					out = parwork.Filter(pl.Workers, pl.Edges, func(_ int, e wire.Edge) bool {
+						return key.Bernoulli(uint64(e.U), pS) && key.Bernoulli(uint64(e.V), pS)
+					})
+					done()
 					capPer = s.instanceCapHigh(n, localAvg)
 				} else {
 					// AlgLow instance; R is shared across every low
@@ -134,7 +135,9 @@ func (s SimOblivious) RunOn(ctx context.Context, top *comm.Topology) (Result, er
 					}
 					keyR := pl.Shared.Key("vsample/" + tag + "/R")
 					keyS := pl.Shared.Key(fmt.Sprintf("vsample/%s/low/%d", tag, exp))
-					out = blocks.CrossSampleEdges(pl.Edges, keyR, keyS, p2, p1)
+					done := simParRegion(pl)
+					out = blocks.CrossSampleEdgesN(pl.Edges, keyR, keyS, p2, p1, pl.Workers)
+					done()
 					capPer = s.instanceCapLow(n)
 				}
 				if len(out) > capPer {
@@ -171,7 +174,7 @@ func (s SimOblivious) RunOn(ctx context.Context, top *comm.Topology) (Result, er
 			}
 			exposed := b.Build()
 			res = Result{Verdict: TriangleFree}
-			if tri, ok := exposed.FindTriangle(); ok {
+			if tri, ok := exposed.FindTriangleN(top.IntraWorkers()); ok {
 				res.Verdict = FoundTriangle
 				res.Triangle = tri
 			}
@@ -216,7 +219,7 @@ func (ExactBaseline) RunOn(ctx context.Context, top *comm.Topology) (Result, err
 			return comm.FromWriter(&w), nil
 		},
 		func(_ *xrand.Shared, msgs []comm.Msg) error {
-			r, err := simRefereeResult(n, msgs, decodeEdgeList(n))
+			r, err := simRefereeResult(n, msgs, decodeEdgeList(n), top.IntraWorkers())
 			if err != nil {
 				return err
 			}

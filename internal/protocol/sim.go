@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"tricomm/internal/blocks"
 	"tricomm/internal/comm"
 	"tricomm/internal/graph"
+	"tricomm/internal/parwork"
 	"tricomm/internal/wire"
 	"tricomm/internal/xrand"
 )
@@ -41,7 +43,9 @@ func (t SimTunables) orDefault() SimTunables {
 // simRefereeResult runs the standard referee: union the received edge
 // lists and search them for a triangle. Every received edge is a real
 // input edge, so a reported triangle is always genuine (one-sided error).
-func simRefereeResult(n int, msgs []comm.Msg, decode func(m comm.Msg) ([]wire.Edge, error)) (Result, error) {
+// The triangle search fans across up to workers goroutines (raw request;
+// ≤0 defers to the environment) with the same witness at any width.
+func simRefereeResult(n int, msgs []comm.Msg, decode func(m comm.Msg) ([]wire.Edge, error), workers int) (Result, error) {
 	b := graph.NewBuilder(n)
 	for _, m := range msgs {
 		edges, err := decode(m)
@@ -54,11 +58,22 @@ func simRefereeResult(n int, msgs []comm.Msg, decode func(m comm.Msg) ([]wire.Ed
 	}
 	exposed := b.Build()
 	res := Result{Verdict: TriangleFree}
-	if tri, ok := exposed.FindTriangle(); ok {
+	if tri, ok := exposed.FindTriangleN(workers); ok {
 		res.Verdict = FoundTriangle
 		res.Triangle = tri
 	}
 	return res, nil
+}
+
+// simParRegion times an intra-phase parallel region of a simultaneous
+// player for the observability meter; at width 1 it is free (metrics
+// only, never Stats).
+func simParRegion(p *comm.SimPlayer) func() {
+	if p.Workers <= 1 {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { p.ObserveParallel(time.Since(t0)) }
 }
 
 func decodeEdgeList(n int) func(m comm.Msg) ([]wire.Edge, error) {
@@ -139,12 +154,14 @@ func (s SimHigh) RunOn(ctx context.Context, top *comm.Topology) (Result, error) 
 	stats, err := comm.RunSimultaneousOn(ctx, top,
 		func(pl *comm.SimPlayer) (comm.Msg, error) {
 			key := pl.Shared.Key("vsample/" + tag)
-			var out []wire.Edge
-			for _, e := range pl.Edges {
-				if key.Bernoulli(uint64(e.U), p) && key.Bernoulli(uint64(e.V), p) {
-					out = append(out, e)
-				}
-			}
+			// Order-preserving parallel filter over pure point queries of
+			// the shared key: the kept set (and the cap truncation) is
+			// bit-identical to the serial append loop at any width.
+			done := simParRegion(pl)
+			out := parwork.Filter(pl.Workers, pl.Edges, func(_ int, e wire.Edge) bool {
+				return key.Bernoulli(uint64(e.U), p) && key.Bernoulli(uint64(e.V), p)
+			})
+			done()
 			if len(out) > capPer {
 				out = out[:capPer]
 			}
@@ -155,7 +172,7 @@ func (s SimHigh) RunOn(ctx context.Context, top *comm.Topology) (Result, error) 
 			return comm.FromWriter(&w), nil
 		},
 		func(_ *xrand.Shared, msgs []comm.Msg) error {
-			r, err := simRefereeResult(n, msgs, decodeEdgeList(n))
+			r, err := simRefereeResult(n, msgs, decodeEdgeList(n), top.IntraWorkers())
 			if err != nil {
 				return err
 			}
@@ -239,7 +256,9 @@ func (s SimLow) RunOn(ctx context.Context, top *comm.Topology) (Result, error) {
 		func(pl *comm.SimPlayer) (comm.Msg, error) {
 			keyR := pl.Shared.Key("vsample/" + tag + "/R")
 			keyS := pl.Shared.Key("vsample/" + tag + "/S")
-			out := blocks.CrossSampleEdges(pl.Edges, keyR, keyS, p2, p1)
+			done := simParRegion(pl)
+			out := blocks.CrossSampleEdgesN(pl.Edges, keyR, keyS, p2, p1, pl.Workers)
+			done()
 			if len(out) > capPer {
 				out = out[:capPer]
 			}
@@ -250,7 +269,7 @@ func (s SimLow) RunOn(ctx context.Context, top *comm.Topology) (Result, error) {
 			return comm.FromWriter(&w), nil
 		},
 		func(_ *xrand.Shared, msgs []comm.Msg) error {
-			r, err := simRefereeResult(n, msgs, decodeEdgeList(n))
+			r, err := simRefereeResult(n, msgs, decodeEdgeList(n), top.IntraWorkers())
 			if err != nil {
 				return err
 			}

@@ -29,10 +29,11 @@ type Config struct {
 	// runner (default 1, which also keeps streamed results in trial
 	// order). Total in-flight sessions are bounded by Workers × TrialJobs.
 	TrialJobs int
-	// IntraWorkers fans a single trial's graph kernels (the Check
-	// ground-truth audit) across goroutines; ≤ 0 defers to the
+	// IntraWorkers fans a single trial's hot loops — the session's
+	// per-player sampling/closing scans and the Check ground-truth
+	// audit — across goroutines; ≤ 0 defers to the
 	// TRICOMM_INTRA_WORKERS environment variable, then 1. The parallel
-	// kernels are bit-identical to the serial ones, so this only trades
+	// paths are bit-identical to the serial ones, so this only trades
 	// wall-clock for cores on a box whose trial-level pool is idle.
 	IntraWorkers int
 	// KeepJobs bounds how many finished jobs are retained before the
@@ -662,6 +663,7 @@ func (s *Server) runTrials(j *job) error {
 			if opts.Faults == "" {
 				opts.Faults = s.cfg.DefaultFaults
 			}
+			opts.IntraWorkers = s.cfg.IntraWorkers
 			timeout := time.Duration(spec.TrialTimeoutMS) * time.Millisecond
 			if timeout <= 0 {
 				timeout = s.cfg.TrialTimeout

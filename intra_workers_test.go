@@ -1,0 +1,80 @@
+package tricomm
+
+// Differential determinism suite for intra-phase parallelism: for every
+// protocol × split scheme, the same session run at intra-worker widths
+// 1, 2 and 8 must produce byte-identical reports — verdict, witness,
+// total bits, per-player bits, per-phase bits, rounds, and wire bytes.
+// Width changes only which goroutine evaluates which chunk of a scan;
+// every exposed reduction (exact sums, minima under the shared-key total
+// order, order-preserving filters, lowest-index first hits) is
+// grouping-invariant, so any divergence here is a bug in the
+// work-splitting layer, not noise.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestIntraWorkersDifferentialDeterminism(t *testing.T) {
+	const (
+		n    = 192
+		d    = 8.0
+		eps  = 0.25
+		k    = 4
+		seed = 11
+	)
+	g, certEps := FarGraph(n, d, eps, seed)
+	for _, sc := range invariantSchemes {
+		cl, err := Split(g, k, sc.s, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pr := range invariantProtocols {
+			t.Run(fmt.Sprintf("%s/%s", pr.name, sc.name), func(t *testing.T) {
+				var base Report
+				for wi, workers := range []int{1, 2, 8} {
+					rep, err := cl.Test(context.Background(), Options{
+						Protocol: pr.p, Eps: certEps, AvgDegree: g.AvgDegree(),
+						IntraWorkers: workers,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if wi == 0 {
+						base = rep
+						continue
+					}
+					if rep.TriangleFree != base.TriangleFree {
+						t.Fatalf("width %d verdict %v != width 1 verdict %v", workers, rep.TriangleFree, base.TriangleFree)
+					}
+					if rep.Witness != base.Witness {
+						t.Fatalf("width %d witness %v != width 1 witness %v", workers, rep.Witness, base.Witness)
+					}
+					if rep.Bits != base.Bits {
+						t.Fatalf("width %d bits %d != width 1 bits %d", workers, rep.Bits, base.Bits)
+					}
+					if !reflect.DeepEqual(rep.PerPlayerBits, base.PerPlayerBits) {
+						t.Fatalf("width %d per-player bits %v != width 1 %v", workers, rep.PerPlayerBits, base.PerPlayerBits)
+					}
+					if !reflect.DeepEqual(rep.PhaseBits, base.PhaseBits) {
+						t.Fatalf("width %d phase bits %v != width 1 %v", workers, rep.PhaseBits, base.PhaseBits)
+					}
+					if rep.Rounds != base.Rounds {
+						t.Fatalf("width %d rounds %d != width 1 rounds %d", workers, rep.Rounds, base.Rounds)
+					}
+					if rep.WireBytes != base.WireBytes {
+						t.Fatalf("width %d wire bytes %d != width 1 %d", workers, rep.WireBytes, base.WireBytes)
+					}
+					// Everything else (protocol name, fault counters) must
+					// match too; DeepEqual over the whole report is the
+					// final catch-all.
+					if !reflect.DeepEqual(rep, base) {
+						t.Fatalf("width %d report differs from width 1:\n%+v\nvs\n%+v", workers, rep, base)
+					}
+				}
+			})
+		}
+	}
+}

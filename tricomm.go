@@ -455,6 +455,12 @@ type Options struct {
 	// completes with a report byte-identical in verdict/witness/bits to the
 	// fault-free run, or fails with ErrSessionAborted.
 	Faults string
+	// IntraWorkers fans a single session's per-player hot loops (candidate
+	// scans, sampling filters, arm closing, sketch scans) across up to this
+	// many goroutines; ≤ 0 defers to TRICOMM_INTRA_WORKERS, default 1.
+	// Reports are bit-identical at every width — the knob trades only wall
+	// clock.
+	IntraWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -598,6 +604,9 @@ func (c *Cluster) transportTopology(opts Options) (*comm.Topology, error) {
 	top, err := c.topology()
 	if err != nil {
 		return nil, err
+	}
+	if opts.IntraWorkers > 0 {
+		top = top.WithIntraWorkers(opts.IntraWorkers)
 	}
 	faults, err := transport.ParseFaultSpec(opts.Faults)
 	if err != nil {
